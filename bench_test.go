@@ -1,0 +1,199 @@
+package pstlbench
+
+// One benchmark per table and figure of the paper, plus native benchmarks
+// of the real parallel algorithms library. The experiment benchmarks run
+// the full simulated experiment at a reduced problem scale (2^22 elements
+// instead of 2^30) so `go test -bench=.` stays fast; `pstlreport` runs
+// them at full scale. Key figures are attached as benchmark metrics.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/core"
+	"pstlbench/internal/experiments"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/native"
+	"pstlbench/internal/simexec"
+	"pstlbench/internal/skeleton"
+	"pstlbench/internal/stream"
+)
+
+// benchScale reduces the paper's 2^30 to 2^22 for the -bench runs.
+const benchScale = 8
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	run := experiments.ByID(id)
+	if run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = run(experiments.Config{Scale: benchScale}).String()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty report")
+	}
+}
+
+// Benchmarks regenerating each table/figure (simulated machines).
+
+func BenchmarkTab2Stream(b *testing.B)         { runExperiment(b, "tab2") }
+func BenchmarkFig1Allocator(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig2ForEachProblem(b *testing.B) { runExperiment(b, "fig2") }
+func BenchmarkFig3ForEachStrong(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkTab3Counters(b *testing.B)       { runExperiment(b, "tab3") }
+func BenchmarkFig4Find(b *testing.B)           { runExperiment(b, "fig4") }
+func BenchmarkFig5Scan(b *testing.B)           { runExperiment(b, "fig5") }
+func BenchmarkFig6Reduce(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkTab4Counters(b *testing.B)       { runExperiment(b, "tab4") }
+func BenchmarkFig7Sort(b *testing.B)           { runExperiment(b, "fig7") }
+func BenchmarkTab5Speedups(b *testing.B)       { runExperiment(b, "tab5") }
+func BenchmarkTab6Efficiency(b *testing.B)     { runExperiment(b, "tab6") }
+func BenchmarkTab7BinarySize(b *testing.B)     { runExperiment(b, "tab7") }
+func BenchmarkFig8GPUForEach(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkFig9GPUReduce(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkExtARM(b *testing.B)             { runExperiment(b, "ext-arm") }
+func BenchmarkAblGrain(b *testing.B)           { runExperiment(b, "abl-grain") }
+func BenchmarkAblContention(b *testing.B)      { runExperiment(b, "abl-contention") }
+func BenchmarkAblCheapFutures(b *testing.B)    { runExperiment(b, "abl-hpx") }
+
+// BenchmarkSimInvocation measures the simulator's own throughput: one
+// virtual invocation per iteration, reporting the modeled time as a
+// metric.
+func BenchmarkSimInvocation(b *testing.B) {
+	m := machine.MachC()
+	var virtual float64
+	for i := 0; i < b.N; i++ {
+		r := simexec.Run(simexec.Config{
+			Machine: m, Backend: backend.GCCTBB(),
+			Workload: skeleton.Workload{Op: backend.OpSort, N: 1 << 30, ElemBytes: 8, Kit: 1},
+			Threads:  128, Alloc: allocsim.FirstTouch,
+		})
+		virtual = r.Seconds
+	}
+	b.ReportMetric(virtual, "virtual-s/call")
+}
+
+// BenchmarkStream measures the native STREAM triad on the host.
+func BenchmarkStream(b *testing.B) {
+	var r stream.Result
+	for i := 0; i < b.N; i++ {
+		r = stream.Native(runtime.GOMAXPROCS(0), 1<<22, 1)
+	}
+	b.ReportMetric(r.Triad, "GB/s-triad")
+}
+
+// Native benchmarks of the real library (this host, real goroutines).
+
+func nativePolicy(b *testing.B) core.Policy {
+	b.Helper()
+	pool := native.New(runtime.GOMAXPROCS(0), native.StrategyStealing)
+	b.Cleanup(pool.Close)
+	return core.Par(pool)
+}
+
+func BenchmarkNativeForEach(b *testing.B) {
+	p := nativePolicy(b)
+	data := make([]float64, 1<<20)
+	kernel := func(v *float64) { *v++ }
+	b.SetBytes(int64(len(data)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ForEach(p, data, kernel)
+	}
+}
+
+func BenchmarkNativeReduce(b *testing.B) {
+	p := nativePolicy(b)
+	data := make([]float64, 1<<20)
+	core.Generate(p, data, func(i int) float64 { return float64(i) })
+	b.SetBytes(int64(len(data)) * 8)
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = core.Sum(p, data, 0)
+	}
+	_ = s
+}
+
+func BenchmarkNativeFind(b *testing.B) {
+	p := nativePolicy(b)
+	data := make([]float64, 1<<20)
+	core.Generate(p, data, func(i int) float64 { return float64(i + 1) })
+	b.SetBytes(int64(len(data)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Find(p, data, float64(len(data)/2)) < 0 {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkNativeInclusiveScan(b *testing.B) {
+	p := nativePolicy(b)
+	data := make([]float64, 1<<20)
+	dst := make([]float64, len(data))
+	core.Generate(p, data, func(i int) float64 { return 1 })
+	b.SetBytes(int64(len(data)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.InclusiveSum(p, dst, data)
+	}
+}
+
+func BenchmarkNativeSort(b *testing.B) {
+	p := nativePolicy(b)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 1<<18)
+	b.SetBytes(int64(len(data)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range data {
+			data[j] = rng.Float64()
+		}
+		b.StartTimer()
+		core.Sort(p, data)
+	}
+}
+
+func BenchmarkNativeTransformReduce(b *testing.B) {
+	p := nativePolicy(b)
+	x := make([]float64, 1<<20)
+	y := make([]float64, 1<<20)
+	core.Generate(p, x, func(i int) float64 { return float64(i) })
+	core.Generate(p, y, func(i int) float64 { return 2 })
+	b.SetBytes(int64(len(x)) * 16)
+	b.ResetTimer()
+	var dot float64
+	for i := 0; i < b.N; i++ {
+		dot = core.TransformReduceBinary(p, x, y, 0.0,
+			func(a, c float64) float64 { return a + c },
+			func(a, c float64) float64 { return a * c })
+	}
+	_ = dot
+}
+
+// Native pool microbenchmarks: the per-invocation overhead of each
+// scheduling strategy (the quantity the paper's small-size crossovers are
+// made of).
+func BenchmarkPoolOverhead(b *testing.B) {
+	for _, s := range []native.Strategy{native.StrategyForkJoin, native.StrategyStealing, native.StrategyCentralQueue} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			pool := native.New(runtime.GOMAXPROCS(0), s)
+			defer pool.Close()
+			p := core.Par(pool)
+			data := make([]float64, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ForEach(p, data, func(v *float64) { *v = 0 })
+			}
+		})
+	}
+}

@@ -1,0 +1,266 @@
+// Command pstlbench runs the pSTL-Bench micro-benchmarks.
+//
+// Two modes exist:
+//
+//   - sim (default): measure the paper's five kernels on a simulated
+//     machine under a chosen compiler/runtime backend, reproducing the
+//     paper's experimental conditions (Mach A-E, GCC/ICC/NVC x
+//     TBB/GNU/HPX/OMP/CUDA);
+//   - native: measure this library's real parallel algorithms on the host
+//     with a chosen scheduling strategy and worker count.
+//
+// Examples:
+//
+//	pstlbench -mode sim -machine a -backend GCC-TBB,NVC-OMP -algo for_each -minexp 10 -maxexp 24
+//	pstlbench -mode native -strategy stealing -workers 8 -algo reduce,sort -maxexp 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/core"
+	"pstlbench/internal/exec"
+	"pstlbench/internal/harness"
+	"pstlbench/internal/kernels"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/native"
+	"pstlbench/internal/report"
+	"pstlbench/internal/simexec"
+	"pstlbench/internal/skeleton"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "sim", "sim (simulated machines) or native (this host)")
+		machName = flag.String("machine", "a", "simulated machine: a, b, c, d, e")
+		backends = flag.String("backend", "all", "comma-separated backend IDs (GCC-SEQ, GCC-TBB, GCC-GNU, GCC-HPX, ICC-TBB, NVC-OMP, NVC-CUDA) or 'all'")
+		algos    = flag.String("algo", "all", "comma-separated kernels, 'all' (the five studied), or 'extended' (the full native set)")
+		kit      = flag.Int("kit", 1, "for_each computational intensity (k_it)")
+		minExp   = flag.Int("minexp", 10, "smallest problem size exponent (2^minexp elements)")
+		maxExp   = flag.Int("maxexp", 24, "largest problem size exponent")
+		threads  = flag.Int("threads", 0, "thread count (0 = all cores of the machine / GOMAXPROCS)")
+		alloc    = flag.String("alloc", "first-touch", "allocation strategy: default or first-touch (sim mode)")
+		strategy = flag.String("strategy", "stealing", "native scheduling strategy: seq, forkjoin, stealing, centralqueue")
+		workers  = flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
+		minTime  = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per benchmark (native mode)")
+		filter   = flag.String("filter", "", "regexp filter on benchmark instance names")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut  = flag.Bool("json", false, "emit JSON records instead of a table")
+	)
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fatal("bad -filter: %v", err)
+		}
+	}
+
+	selKernels := selectKernels(*algos)
+	suite := &harness.Suite{}
+	switch *mode {
+	case "sim":
+		registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc)
+	case "native":
+		registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime)
+	default:
+		fatal("unknown -mode %q", *mode)
+	}
+
+	results := suite.Run(re)
+	harness.SortResults(results)
+	if *jsonOut {
+		emitJSON(results)
+		return
+	}
+	t := &report.Table{
+		Headers: []string{"Benchmark", "Iterations", "Time/call", "GiB/s"},
+	}
+	for _, r := range results {
+		t.AddRow(r.FullName(),
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%.6g s", r.Seconds),
+			fmt.Sprintf("%.2f", r.BytesPerSec/(1<<30)))
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}
+
+// jsonRecord is the machine-readable result schema, one line per
+// benchmark instance (JSON Lines).
+type jsonRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	Seconds     float64 `json:"seconds_per_call"`
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	// Modeled counters, when the simulator produced them.
+	Instructions float64 `json:"instructions,omitempty"`
+	DRAMBytes    float64 `json:"dram_bytes,omitempty"`
+}
+
+func emitJSON(results []harness.Result) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range results {
+		rec := jsonRecord{
+			Name:        r.FullName(),
+			Iterations:  r.Iterations,
+			Seconds:     r.Seconds,
+			BytesPerSec: r.BytesPerSec,
+		}
+		if r.HasCounters && r.Iterations > 0 {
+			rec.Instructions = r.Counters.Instructions / float64(r.Iterations)
+			rec.DRAMBytes = r.Counters.DRAMBytes / float64(r.Iterations)
+		}
+		if err := enc.Encode(rec); err != nil {
+			fatal("encoding JSON: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pstlbench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func selectKernels(spec string) []kernels.Kernel {
+	switch spec {
+	case "all":
+		return kernels.All()
+	case "extended":
+		return kernels.Extended()
+	}
+	var out []kernels.Kernel
+	for _, name := range strings.Split(spec, ",") {
+		k, ok := kernels.ExtByName(strings.TrimSpace(name))
+		if !ok {
+			fatal("unknown kernel %q", name)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func selectBackends(spec string) []*backend.Backend {
+	if spec == "all" {
+		return backend.All()
+	}
+	var out []*backend.Backend
+	for _, id := range strings.Split(spec, ",") {
+		b := backend.ByID(strings.TrimSpace(id))
+		if b == nil {
+			fatal("unknown backend %q", id)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// registerSim adds one benchmark per (kernel, backend) with the size sweep
+// as range arguments; each iteration reports the simulator's virtual time
+// via manual timing.
+func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string) {
+	m := machine.ByName(machName)
+	if m == nil {
+		fatal("unknown machine %q", machName)
+	}
+	if threads <= 0 {
+		threads = m.Cores
+	}
+	var alloc allocsim.Strategy
+	switch allocName {
+	case "default":
+		alloc = allocsim.Default
+	case "first-touch", "firsttouch", "ft":
+		alloc = allocsim.FirstTouch
+	default:
+		fatal("unknown -alloc %q", allocName)
+	}
+	var args [][]int64
+	for e := minExp; e <= maxExp; e++ {
+		args = append(args, []int64{1 << e})
+	}
+	for _, k := range ks {
+		if !k.Sim {
+			continue // extended kernels are native-only
+		}
+		for _, b := range selectBackends(backendSpec) {
+			if b.IsGPU() && m.GPU == nil {
+				continue
+			}
+			k, b := k, b
+			suite.Register(harness.Benchmark{
+				Name: fmt.Sprintf("%s/%s/%s", k.Name, machName, b.ID),
+				Args: args,
+				Fn: func(st *harness.State) {
+					n := st.Range(0)
+					for st.Next() {
+						r := simexec.Run(simexec.Config{
+							Machine: m, Backend: b,
+							Workload: skeleton.Workload{Op: k.Op, N: n, ElemBytes: 8, Kit: kit, HitFrac: 0.5},
+							Threads:  threads, Alloc: alloc,
+							TransferBack: b.IsGPU(),
+						})
+						st.SetIterationTime(r.Seconds)
+						st.RecordCounters(r.Counters)
+					}
+					st.SetBytesProcessed(int64(st.Iterations()) * n * 8)
+				},
+			})
+		}
+	}
+}
+
+// registerNative adds benchmarks running the real Go library on the host.
+func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration) {
+	var policy core.Policy
+	switch strategyName {
+	case "seq":
+		policy = core.Seq()
+	case "forkjoin", "stealing", "centralqueue":
+		var s native.Strategy
+		switch strategyName {
+		case "forkjoin":
+			s = native.StrategyForkJoin
+		case "stealing":
+			s = native.StrategyStealing
+		default:
+			s = native.StrategyCentralQueue
+		}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		pool := native.New(workers, s)
+		// The pool lives for the process lifetime; no Close needed.
+		policy = core.Par(pool).WithGrain(exec.Auto)
+	default:
+		fatal("unknown -strategy %q", strategyName)
+	}
+	var args [][]int64
+	for e := minExp; e <= maxExp; e++ {
+		args = append(args, []int64{1 << e})
+	}
+	for _, k := range ks {
+		k := k
+		suite.Register(harness.Benchmark{
+			Name:    fmt.Sprintf("%s/native/%s", k.Name, strategyName),
+			Args:    args,
+			MinTime: minTime,
+			Fn: func(st *harness.State) {
+				k.Body(policy, int(st.Range(0)), kit)(st)
+			},
+		})
+	}
+}

@@ -1,0 +1,64 @@
+// Command pstlreport regenerates the paper's tables and figures from the
+// simulated machines:
+//
+//	pstlreport                    # every experiment, full scale
+//	pstlreport -exp fig2,tab5     # selected experiments
+//	pstlreport -scale 6           # shrink 2^30 workloads to 2^24
+//	pstlreport -list              # list experiment IDs
+//
+// Output is plain text: aligned tables and ASCII charts (log-2 x axes,
+// matching the paper's presentation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pstlbench/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs (fig1..fig9, tab2..tab7, ext-*, abl-*) or 'all'")
+		scale = flag.Int("scale", 0, "problem-size exponent reduction: N uses 2^(30-N) elements")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		csv   = flag.Bool("csv", false, "emit the experiments' tables as CSV (charts are omitted)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Index() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.Index() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run := experiments.ByID(id)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "pstlreport: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		r := run(cfg)
+		if *csv {
+			for _, t := range r.Tables {
+				fmt.Printf("# %s: %s\n", r.ID, t.Title)
+				fmt.Print(t.CSV())
+			}
+			continue
+		}
+		fmt.Println(r)
+	}
+}

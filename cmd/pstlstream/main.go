@@ -1,0 +1,53 @@
+// Command pstlstream runs the STREAM bandwidth benchmark used to calibrate
+// the memory-bound expectations (Table 2's last row):
+//
+//	pstlstream                  # simulated Table 2 row for Mach A/B/C
+//	pstlstream -mode native     # measure the host with 1..GOMAXPROCS workers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"pstlbench/internal/machine"
+	"pstlbench/internal/report"
+	"pstlbench/internal/stream"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "sim", "sim or native")
+		n     = flag.Int("n", 1<<24, "elements per array (native mode; 3 arrays x 8 bytes)")
+		iters = flag.Int("iters", 3, "repetitions per kernel, best is reported (native mode)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "sim":
+		t := &report.Table{
+			Title:   "Simulated STREAM bandwidth (GB/s)",
+			Headers: []string{"Machine", "1 core", "all cores"},
+		}
+		for _, m := range machine.CPUs() {
+			t.AddRow(m.Name,
+				fmt.Sprintf("%.1f", stream.Simulated(m, 1)),
+				fmt.Sprintf("%.1f", stream.Simulated(m, m.Cores)))
+		}
+		fmt.Print(t.String())
+	case "native":
+		t := &report.Table{
+			Title:   fmt.Sprintf("Native STREAM, %d elements/array", *n),
+			Headers: []string{"Workers", "Copy", "Scale", "Add", "Triad (GB/s)"},
+		}
+		for w := 1; w <= runtime.GOMAXPROCS(0); w *= 2 {
+			r := stream.Native(w, *n, *iters)
+			t.AddRow(fmt.Sprintf("%d", w),
+				fmt.Sprintf("%.2f", r.Copy), fmt.Sprintf("%.2f", r.Scale),
+				fmt.Sprintf("%.2f", r.Add), fmt.Sprintf("%.2f", r.Triad))
+		}
+		fmt.Print(t.String())
+	default:
+		fmt.Printf("pstlstream: unknown mode %q\n", *mode)
+	}
+}

@@ -1,0 +1,25 @@
+// Package pstlbench is a Go reproduction of "Exploring Scalability in C++
+// Parallel STL Implementations" (Laso, Krupitza, Hunold — ICPP 2024).
+//
+// The repository contains three systems:
+//
+//   - a parallel algorithms library implementing the C++17 parallel STL
+//     surface generically over pluggable goroutine scheduling strategies
+//     (internal/core, internal/exec, internal/native);
+//   - a discrete-event performance simulator reproducing the paper's five
+//     evaluation platforms — three NUMA multicores and two CUDA GPUs —
+//     and the cost structure of the five compiler/runtime backends the
+//     paper compares (internal/machine, internal/memsys, internal/backend,
+//     internal/skeleton, internal/simexec, internal/gpusim);
+//   - a benchmarking layer: a Google-Benchmark-style harness, the STREAM
+//     calibration kernel, and one experiment definition per figure and
+//     table of the paper (internal/harness, internal/stream,
+//     internal/experiments).
+//
+// See README.md for usage, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-model results.
+//
+// The root-level benchmarks in bench_test.go regenerate each table and
+// figure at a reduced problem scale; the pstlreport command produces them
+// at full scale.
+package pstlbench

@@ -1,0 +1,57 @@
+// GPU offload: the chained-calls scenario of the paper's Figure 9 on the
+// simulated Tesla T4 and Ampere A2 — repeated reductions are
+// communication-bound when the host touches the data between calls, and
+// device-bound once the data stays resident.
+//
+//	go run ./examples/gpuoffload
+package main
+
+import (
+	"fmt"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/gpusim"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/skeleton"
+)
+
+func main() {
+	const n = 1 << 26 // 64M floats = 256 MiB
+	const chain = 8   // chained reduce calls
+
+	for _, m := range machine.GPUs() {
+		gpu := m.GPU
+		fmt.Printf("%s (%s, %d CUDA cores, %.0f GB/s device)\n",
+			m.Name, gpu.Name, gpu.SMs*gpu.CoresPerSM, gpu.DeviceBW)
+		w := skeleton.Workload{Op: backend.OpReduce, N: n, ElemBytes: 4, Kit: 1}
+
+		// Scenario A (Fig 9a): the host consumes the data between calls,
+		// so every call migrates the array in and back out.
+		totalA := 0.0
+		for c := 0; c < chain; c++ {
+			br := gpusim.Run(gpu, w, gpusim.Options{TransferBack: true})
+			totalA += br.Total()
+			if c == 0 {
+				fmt.Printf("  per call w/ transfers : H2D %.2fms + kernel %.3fms + D2H %.2fms\n",
+					br.HostToDevice*1e3, br.Kernel*1e3, br.DeviceToHost*1e3)
+			}
+		}
+
+		// Scenario B (Fig 9b): calls chain on the device; only the first
+		// call pays the migration.
+		totalB := 0.0
+		for c := 0; c < chain; c++ {
+			br := gpusim.Run(gpu, w, gpusim.Options{DataResident: c > 0})
+			totalB += br.Total()
+		}
+
+		fmt.Printf("  %d chained reduces     : with transfers %.1fms, resident %.1fms (%.1fx)\n",
+			chain, totalA*1e3, totalB*1e3, totalA/totalB)
+
+		// The volatile quirk (Section 5.8): for double, nvc++ deletes the
+		// k_it loop below the magic number 65001.
+		fmt.Printf("  volatile quirk        : double k_it=1000 -> effective %d; float k_it=1000 -> %d\n",
+			gpusim.EffectiveKit(8, 1000), gpusim.EffectiveKit(4, 1000))
+		fmt.Println()
+	}
+}

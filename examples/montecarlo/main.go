@@ -1,0 +1,68 @@
+// Monte-Carlo π: a compute-bound for_each in the spirit of the paper's
+// k_it=1000 configuration — when arithmetic intensity is high, parallel
+// execution approaches ideal speedup even on modest machines, while at low
+// intensity the scheduling overhead dominates.
+//
+//	go run ./examples/montecarlo
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"pstlbench/internal/core"
+	"pstlbench/internal/native"
+)
+
+// trial runs `rounds` pseudo-random dart throws seeded by the index and
+// returns how many landed inside the unit circle. The per-element work is
+// the "computational intensity" dial of the paper's for_each kernel.
+func trial(idx, rounds int) int {
+	// SplitMix64 keeps the kernel deterministic and allocation-free.
+	state := uint64(idx)*0x9E3779B97F4A7C15 + 1
+	next := func() float64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	in := 0
+	for i := 0; i < rounds; i++ {
+		x, y := next(), next()
+		if x*x+y*y <= 1 {
+			in++
+		}
+	}
+	return in
+}
+
+func main() {
+	workers := runtime.GOMAXPROCS(0)
+	pool := native.New(workers, native.StrategyStealing)
+	defer pool.Close()
+	par := core.Par(pool)
+	seq := core.Seq()
+
+	const cells = 1 << 14
+	fmt.Printf("monte-carlo pi with %d cells on %d workers\n", cells, workers)
+	fmt.Printf("%-10s  %-12s  %-12s  %-8s  %s\n", "rounds", "sequential", "parallel", "speedup", "pi")
+
+	hits := make([]int, cells)
+	for _, rounds := range []int{16, 256, 4096} {
+		run := func(p core.Policy) time.Duration {
+			start := time.Now()
+			core.ForEachIndex(p, hits, func(i int, out *int) { *out = trial(i, rounds) })
+			return time.Since(start)
+		}
+		seqT := run(seq)
+		parT := run(par)
+		inside := core.Sum(par, hits, 0)
+		pi := 4 * float64(inside) / float64(cells*rounds)
+		fmt.Printf("%-10d  %-12v  %-12v  %-8.2f  %.4f (err %.5f)\n",
+			rounds, seqT, parT, float64(seqT)/float64(parT), pi, math.Abs(pi-math.Pi))
+	}
+}

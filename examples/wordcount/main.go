@@ -1,0 +1,103 @@
+// Wordcount: a map-reduce text pipeline built from the parallel
+// algorithms — the workload class the paper's introduction motivates for
+// the parallel STL (map via Transform, reduce via TransformReduce, group
+// via Sort + run boundaries, top-k via PartialSort).
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+
+	"pstlbench/internal/core"
+	"pstlbench/internal/native"
+)
+
+// vocabulary skews toward the front, Zipf-style, so the counts are
+// interesting.
+var vocabulary = []string{
+	"the", "of", "and", "to", "in", "stream", "parallel", "stl", "backend",
+	"thread", "scalability", "bandwidth", "cache", "numa", "speedup",
+	"kernel", "benchmark", "allocator", "gpu", "compiler",
+}
+
+func synthesize(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]string, n)
+	for i := range words {
+		// Quadratic skew: low ranks are much more frequent.
+		r := rng.Float64()
+		words[i] = vocabulary[int(r*r*float64(len(vocabulary)))]
+	}
+	return words
+}
+
+func main() {
+	pool := native.New(runtime.GOMAXPROCS(0), native.StrategyStealing)
+	defer pool.Close()
+	p := core.Par(pool)
+
+	const n = 1 << 19
+	words := synthesize(n, 11)
+
+	// Map: normalize tokens (uppercase stragglers, trimming) in parallel.
+	core.Transform(p, words, words, strings.ToLower)
+
+	// Filter: drop stop words with a parallel stable compaction.
+	stop := map[string]bool{"the": true, "of": true, "and": true, "to": true, "in": true}
+	kept := make([]string, n)
+	k := core.CopyIf(p, kept, words, func(w string) bool { return !stop[w] })
+	kept = kept[:k]
+	fmt.Printf("tokens: %d total, %d after stop-word filter\n", n, k)
+
+	// Reduce: total character volume (transform_reduce).
+	chars := core.TransformReduce(p, kept, 0,
+		func(a, b int) int { return a + b },
+		func(w string) int { return len(w) })
+	fmt.Printf("volume: %d characters, mean word length %.2f\n", chars, float64(chars)/float64(k))
+
+	// Group: sort, then find run boundaries in parallel; the boundary
+	// index list is a CopyIf over positions.
+	core.SortFunc(p, kept, func(a, b string) bool { return a < b })
+	positions := make([]int, k)
+	core.Generate(p, positions, func(i int) int { return i })
+	starts := make([]int, k)
+	b := core.CopyIf(p, starts, positions, func(i int) bool {
+		return i == 0 || kept[i] != kept[i-1]
+	})
+	starts = starts[:b]
+
+	type wc struct {
+		word  string
+		count int
+	}
+	counts := make([]wc, b)
+	core.ForEachIndex(p, counts, func(i int, out *wc) {
+		lo := starts[i]
+		hi := k
+		if i+1 < b {
+			hi = starts[i+1]
+		}
+		*out = wc{word: kept[lo], count: hi - lo}
+	})
+
+	// Top-k: partial sort by descending count.
+	top := 5
+	if top > len(counts) {
+		top = len(counts)
+	}
+	core.PartialSort(p, counts, top, func(a, b wc) bool { return a.count > b.count })
+	fmt.Printf("distinct words: %d; top %d:\n", b, top)
+	for _, c := range counts[:top] {
+		fmt.Printf("  %-12s %7d\n", c.word, c.count)
+	}
+
+	// Sanity: counts must add back up to the filtered token count.
+	total := core.TransformReduce(p, counts, 0,
+		func(a, b int) int { return a + b },
+		func(c wc) int { return c.count })
+	fmt.Printf("checksum: counts sum to %d (want %d)\n", total, k)
+}

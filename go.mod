@@ -1,0 +1,3 @@
+module pstlbench
+
+go 1.22

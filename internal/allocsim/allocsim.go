@@ -1,0 +1,88 @@
+// Package allocsim models the two memory-allocation strategies the paper
+// compares (Section 3.3 / Figure 1): the default allocator, whose pages are
+// all faulted in by the setup thread and land on NUMA node 0, and
+// pSTL-Bench's custom parallel allocator, which first-touches pages with
+// the parallel policy so they distribute across the participating nodes.
+package allocsim
+
+import (
+	"fmt"
+
+	"pstlbench/internal/machine"
+	"pstlbench/internal/memsys"
+)
+
+// Strategy selects the allocation model.
+type Strategy int
+
+const (
+	// Default is the system allocator: first touch happens on the
+	// (single-threaded) initialization path, so every page lands on the
+	// allocating thread's node.
+	Default Strategy = iota
+	// FirstTouch is the custom parallel allocator: each worker touches
+	// the pages of its own chunk, distributing them across nodes.
+	FirstTouch
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Default:
+		return "default"
+	case FirstTouch:
+		return "first-touch"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// defaultNode0Frac is the fraction of a default allocation that lands on
+// the allocating thread's node; the rest spreads (transparent huge pages,
+// reused arenas, kernel page-cache effects keep the default allocator from
+// being a perfect single-node pessimum).
+const defaultNode0Frac = 0.55
+
+// Placement returns the page distribution an allocation strategy produces
+// on machine m when threads workers participate.
+func Placement(m *machine.Machine, threads int, s Strategy) memsys.Placement {
+	switch s {
+	case FirstTouch:
+		return memsys.FirstTouch(m, threads)
+	default:
+		pl := memsys.Interleaved(m.NUMANodes)
+		for n := range pl.NodeFrac {
+			pl.NodeFrac[n] *= 1 - defaultNode0Frac
+		}
+		pl.NodeFrac[0] += defaultNode0Frac
+		return pl
+	}
+}
+
+// TaskTraffic returns the NUMA-node distribution of one task's memory
+// traffic, given the array placement, the node of the core executing the
+// task, and the backend's affinity match for the operation.
+//
+// Under the default allocator the traffic simply follows the pages (all on
+// node 0). Under first-touch, a fraction `match` of the accesses hit the
+// pages the task's own thread touched (local node), and the rest spread
+// like the placement — the regime of a dynamic schedule whose chunk-to-
+// thread assignment has decorrelated from the touch pattern.
+func TaskTraffic(placement memsys.Placement, localNode int, match float64, s Strategy) []float64 {
+	if s != FirstTouch {
+		out := make([]float64, len(placement.NodeFrac))
+		copy(out, placement.NodeFrac)
+		return out
+	}
+	if match < 0 {
+		match = 0
+	} else if match > 1 {
+		match = 1
+	}
+	out := make([]float64, len(placement.NodeFrac))
+	for n, f := range placement.NodeFrac {
+		out[n] = (1 - match) * f
+	}
+	out[localNode] += match
+	return out
+}

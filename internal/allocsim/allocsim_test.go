@@ -1,0 +1,102 @@
+package allocsim
+
+import (
+	"math"
+	"testing"
+
+	"pstlbench/internal/machine"
+)
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestStrategyString(t *testing.T) {
+	if Default.String() != "default" || FirstTouch.String() != "first-touch" {
+		t.Fatal("strategy names")
+	}
+	if Strategy(7).String() != "Strategy(7)" {
+		t.Fatal("unknown strategy name")
+	}
+}
+
+func TestDefaultPlacementBiasedToNode0(t *testing.T) {
+	m := machine.MachB()
+	pl := Placement(m, 64, Default)
+	pl.Validate()
+	if pl.NodeFrac[0] < 0.5 {
+		t.Fatalf("default placement node0 = %v, want majority", pl.NodeFrac[0])
+	}
+	// The remainder spreads uniformly.
+	for n := 1; n < m.NUMANodes; n++ {
+		if math.Abs(pl.NodeFrac[n]-pl.NodeFrac[1]) > 1e-12 {
+			t.Fatalf("non-uniform spread: %v", pl.NodeFrac)
+		}
+	}
+}
+
+func TestFirstTouchPlacementFollowsThreads(t *testing.T) {
+	m := machine.MachB() // 8 cores per node
+	pl := Placement(m, 16, FirstTouch)
+	pl.Validate()
+	if pl.NodeFrac[0] != 0.5 || pl.NodeFrac[1] != 0.5 {
+		t.Fatalf("16 threads should cover nodes 0 and 1 equally: %v", pl.NodeFrac)
+	}
+	if sum(pl.NodeFrac[2:]) != 0 {
+		t.Fatalf("unused nodes received pages: %v", pl.NodeFrac)
+	}
+}
+
+func TestTaskTrafficDefaultFollowsPlacement(t *testing.T) {
+	m := machine.MachA()
+	pl := Placement(m, 32, Default)
+	tr := TaskTraffic(pl, 1, 0.9, Default)
+	for n := range tr {
+		if tr[n] != pl.NodeFrac[n] {
+			t.Fatalf("default traffic diverged from placement at node %d", n)
+		}
+	}
+}
+
+func TestTaskTrafficFirstTouchBlending(t *testing.T) {
+	m := machine.MachA()
+	pl := Placement(m, 32, FirstTouch) // 50/50 on Mach A
+	// Full affinity: everything local.
+	tr := TaskTraffic(pl, 1, 1.0, FirstTouch)
+	if tr[1] != 1.0 || tr[0] != 0 {
+		t.Fatalf("match=1 traffic = %v, want all on local node 1", tr)
+	}
+	// Zero affinity: traffic follows the pages.
+	tr = TaskTraffic(pl, 1, 0.0, FirstTouch)
+	if math.Abs(tr[0]-0.5) > 1e-12 || math.Abs(tr[1]-0.5) > 1e-12 {
+		t.Fatalf("match=0 traffic = %v, want placement", tr)
+	}
+	// Half affinity: half local plus half of the distribution.
+	tr = TaskTraffic(pl, 0, 0.5, FirstTouch)
+	if math.Abs(tr[0]-0.75) > 1e-12 || math.Abs(tr[1]-0.25) > 1e-12 {
+		t.Fatalf("match=0.5 traffic = %v", tr)
+	}
+	if math.Abs(sum(tr)-1) > 1e-9 {
+		t.Fatalf("traffic fractions sum to %v", sum(tr))
+	}
+}
+
+func TestTaskTrafficClampsMatch(t *testing.T) {
+	m := machine.MachA()
+	pl := Placement(m, 32, FirstTouch)
+	for _, match := range []float64{-0.5, 1.5} {
+		tr := TaskTraffic(pl, 0, match, FirstTouch)
+		if math.Abs(sum(tr)-1) > 1e-9 {
+			t.Fatalf("match=%v: fractions sum to %v", match, sum(tr))
+		}
+		for _, f := range tr {
+			if f < 0 || f > 1 {
+				t.Fatalf("match=%v: fraction out of range: %v", match, tr)
+			}
+		}
+	}
+}

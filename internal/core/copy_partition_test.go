@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestCopyAndCopyN(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		for _, n := range testSizes {
+			src := iota(n)
+			dst := make([]float64, n)
+			Copy(p, dst, src)
+			if !equalSlices(dst, src) {
+				t.Fatalf("n=%d: copy mismatch", n)
+			}
+		}
+		src := iota(100)
+		dst := make([]float64, 100)
+		CopyN(p, dst, src, 40)
+		if dst[39] != 40 || dst[40] != 0 {
+			t.Fatalf("CopyN boundary: %v %v", dst[39], dst[40])
+		}
+	})
+}
+
+func TestCopyPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Copy(Seq(), make([]int, 2), make([]int, 3))
+}
+
+func TestCopyIfPreservesOrder(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(67))
+		for _, n := range testSizes {
+			src := randomInts(rng, n, 100)
+			even := func(v int) bool { return v%2 == 0 }
+			want := []int{}
+			for _, v := range src {
+				if even(v) {
+					want = append(want, v)
+				}
+			}
+			dst := make([]int, n)
+			got := CopyIf(p, dst, src, even)
+			if got != len(want) || !equalSlices(dst[:got], want) {
+				t.Fatalf("n=%d: CopyIf mismatch (got %d, want %d)", n, got, len(want))
+			}
+		}
+	})
+}
+
+func TestRemoveCopyIfAndRemoveIf(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(71))
+		src := randomInts(rng, 30000, 10)
+		odd := func(v int) bool { return v%2 == 1 }
+		want := []int{}
+		for _, v := range src {
+			if !odd(v) {
+				want = append(want, v)
+			}
+		}
+		dst := make([]int, len(src))
+		n := RemoveCopyIf(p, dst, src, odd)
+		if n != len(want) || !equalSlices(dst[:n], want) {
+			t.Fatal("RemoveCopyIf mismatch")
+		}
+		inPlace := slices.Clone(src)
+		m := RemoveIf(p, inPlace, odd)
+		if m != len(want) || !equalSlices(inPlace[:m], want) {
+			t.Fatal("RemoveIf mismatch")
+		}
+	})
+}
+
+func TestRemove(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := []int{1, 2, 3, 2, 4, 2, 5}
+		n := Remove(p, s, 2)
+		if n != 4 || !equalSlices(s[:n], []int{1, 3, 4, 5}) {
+			t.Fatalf("Remove: n=%d s=%v", n, s[:n])
+		}
+	})
+}
+
+func TestUnique(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		cases := []struct {
+			in, want []int
+		}{
+			{nil, nil},
+			{[]int{1}, []int{1}},
+			{[]int{1, 1, 1}, []int{1}},
+			{[]int{1, 2, 3}, []int{1, 2, 3}},
+			{[]int{1, 1, 2, 2, 3, 1, 1}, []int{1, 2, 3, 1}},
+		}
+		for _, c := range cases {
+			s := slices.Clone(c.in)
+			n := Unique(p, s)
+			if n != len(c.want) || !equalSlices(s[:n], c.want) {
+				t.Fatalf("Unique(%v) = %v", c.in, s[:n])
+			}
+		}
+		// Large input with runs spanning chunk boundaries.
+		big := make([]int, 50000)
+		for i := range big {
+			big[i] = i / 7
+		}
+		n := Unique(p, big)
+		if n != 50000/7+1 {
+			t.Fatalf("Unique runs: n=%d", n)
+		}
+		for i := 0; i < n; i++ {
+			if big[i] != i {
+				t.Fatalf("big[%d] = %d", i, big[i])
+			}
+		}
+	})
+}
+
+func TestStablePartition(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(73))
+		for _, n := range testSizes {
+			src := randomInts(rng, n, 100)
+			pred := func(v int) bool { return v < 50 }
+			var wantYes, wantNo []int
+			for _, v := range src {
+				if pred(v) {
+					wantYes = append(wantYes, v)
+				} else {
+					wantNo = append(wantNo, v)
+				}
+			}
+			s := slices.Clone(src)
+			k := StablePartition(p, s, pred)
+			if k != len(wantYes) || !equalSlices(s[:k], wantYes) || !equalSlices(s[k:], wantNo) {
+				t.Fatalf("n=%d: stable partition mismatch", n)
+			}
+			if !IsPartitioned(p, s, pred) {
+				t.Fatalf("n=%d: result not partitioned", n)
+			}
+			if got := PartitionPoint(s, pred); got != k {
+				t.Fatalf("n=%d: PartitionPoint=%d want %d", n, got, k)
+			}
+		}
+	})
+}
+
+func TestPartitionContract(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(79))
+		s := randomInts(rng, 20000, 2)
+		zeros := 0
+		for _, v := range s {
+			if v == 0 {
+				zeros++
+			}
+		}
+		pred := func(v int) bool { return v == 0 }
+		k := Partition(p, s, pred)
+		if k != zeros {
+			t.Fatalf("partition point %d, want %d", k, zeros)
+		}
+		for i := 0; i < k; i++ {
+			if s[i] != 0 {
+				t.Fatal("non-matching element before partition point")
+			}
+		}
+		for i := k; i < len(s); i++ {
+			if s[i] != 1 {
+				t.Fatal("matching element after partition point")
+			}
+		}
+	})
+}
+
+func TestPartitionCopy(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		src := []int{5, 1, 8, 2, 9, 3}
+		yes := make([]int, len(src))
+		no := make([]int, len(src))
+		ny, nn := PartitionCopy(p, yes, no, src, func(v int) bool { return v < 5 })
+		if ny != 3 || nn != 3 {
+			t.Fatalf("counts %d %d", ny, nn)
+		}
+		if !equalSlices(yes[:ny], []int{1, 2, 3}) || !equalSlices(no[:nn], []int{5, 8, 9}) {
+			t.Fatalf("yes=%v no=%v", yes[:ny], no[:nn])
+		}
+	})
+}
+
+func TestIsPartitioned(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		pred := func(v int) bool { return v < 0 }
+		if !IsPartitioned(p, []int{-3, -1, 2, 5}, pred) {
+			t.Fatal("partitioned input rejected")
+		}
+		if IsPartitioned(p, []int{-3, 2, -1, 5}, pred) {
+			t.Fatal("unpartitioned input accepted")
+		}
+		if !IsPartitioned(p, []int{}, pred) {
+			t.Fatal("empty input rejected")
+		}
+		big := make([]int, 30000)
+		for i := range big {
+			big[i] = i - 15000
+		}
+		if !IsPartitioned(p, big, pred) {
+			t.Fatal("big partitioned input rejected")
+		}
+		big[29000] = -1
+		if IsPartitioned(p, big, pred) {
+			t.Fatal("big unpartitioned input accepted")
+		}
+	})
+}
+
+func TestReverse(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		for _, n := range testSizes {
+			s := iota(n)
+			Reverse(p, s)
+			for i, v := range s {
+				if v != float64(n-i) {
+					t.Fatalf("n=%d: s[%d] = %v", n, i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestReverseCopy(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		src := iota(30000)
+		dst := make([]float64, len(src))
+		ReverseCopy(p, dst, src)
+		for i := range dst {
+			if dst[i] != src[len(src)-1-i] {
+				t.Fatalf("dst[%d] = %v", i, dst[i])
+			}
+		}
+	})
+}
+
+func TestSwapRanges(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		a := iota(20000)
+		b := make([]float64, len(a))
+		SwapRanges(p, a, b)
+		for i := range a {
+			if a[i] != 0 || b[i] != float64(i+1) {
+				t.Fatalf("swap failed at %d", i)
+			}
+		}
+	})
+}
+
+func TestRotate(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		for _, n := range []int{0, 1, 5, 30000} {
+			for _, mid := range []int{0, 1, n / 3, n} {
+				if mid > n {
+					continue
+				}
+				s := make([]int, n)
+				for i := range s {
+					s[i] = i
+				}
+				ret := Rotate(p, s, mid)
+				if ret != n-mid {
+					t.Fatalf("n=%d mid=%d: ret=%d", n, mid, ret)
+				}
+				for i := range s {
+					if s[i] != (i+mid)%max(n, 1) {
+						t.Fatalf("n=%d mid=%d: s[%d] = %d", n, mid, i, s[i])
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestRotateCopy(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		src := []int{0, 1, 2, 3, 4}
+		dst := make([]int, 5)
+		RotateCopy(p, dst, src, 2)
+		if !equalSlices(dst, []int{2, 3, 4, 0, 1}) {
+			t.Fatalf("RotateCopy = %v", dst)
+		}
+	})
+}
+
+func TestTransform(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		src := iota(25000)
+		dst := make([]float64, len(src))
+		Transform(p, dst, src, func(v float64) float64 { return v * v })
+		for i := 0; i < len(dst); i += 503 {
+			if want := src[i] * src[i]; dst[i] != want {
+				t.Fatalf("dst[%d] = %v", i, dst[i])
+			}
+		}
+		// Aliased (in-place) transform.
+		Transform(p, src, src, func(v float64) float64 { return -v })
+		if src[10] != -11 {
+			t.Fatalf("aliased transform: %v", src[10])
+		}
+	})
+}
+
+func TestTransformBinary(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		a := iota(20000)
+		b := iota(20000)
+		dst := make([]float64, len(a))
+		TransformBinary(p, dst, a, b, func(x, y float64) float64 { return x + y })
+		for i := 0; i < len(dst); i += 997 {
+			if dst[i] != 2*float64(i+1) {
+				t.Fatalf("dst[%d] = %v", i, dst[i])
+			}
+		}
+	})
+}
+
+func TestReplaceFamily(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := []int{1, 2, 1, 3, 1}
+		Replace(p, s, 1, 9)
+		if !equalSlices(s, []int{9, 2, 9, 3, 9}) {
+			t.Fatalf("Replace = %v", s)
+		}
+		ReplaceIf(p, s, func(v int) bool { return v > 5 }, 0)
+		if !equalSlices(s, []int{0, 2, 0, 3, 0}) {
+			t.Fatalf("ReplaceIf = %v", s)
+		}
+		dst := make([]int, len(s))
+		ReplaceCopy(p, dst, s, 0, 7)
+		if !equalSlices(dst, []int{7, 2, 7, 3, 7}) {
+			t.Fatalf("ReplaceCopy = %v", dst)
+		}
+		if !equalSlices(s, []int{0, 2, 0, 3, 0}) {
+			t.Fatal("ReplaceCopy mutated src")
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package core
+
+// Copy copies src into dst, possibly in parallel (std::copy). dst must be
+// at least as long as src and must not overlap it.
+func Copy[T any](p Policy, dst, src []T) {
+	if len(dst) < len(src) {
+		panic("core.Copy: dst shorter than src")
+	}
+	n := len(src)
+	if !p.parallel(n) {
+		copy(dst, src)
+		return
+	}
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// CopyN copies the first n elements of src into dst (std::copy_n).
+func CopyN[T any](p Policy, dst, src []T, n int) {
+	if n < 0 || n > len(src) {
+		panic("core.CopyN: n out of range")
+	}
+	Copy(p, dst, src[:n])
+}
+
+// Move is Copy under Go's value semantics (std::move the algorithm; Go has
+// no move construction, so it is an assignment loop).
+func Move[T any](p Policy, dst, src []T) { Copy(p, dst, src) }
+
+// CopyIf appends the elements of src satisfying pred to dst[:0], preserving
+// their relative order as std::copy_if does, and returns the number of
+// elements written. dst must have capacity for every match (len(src) always
+// suffices) and must not overlap src.
+//
+// The parallel version is the classic three-phase stream compaction:
+// per-chunk match counts, an exclusive prefix over the counts, then a
+// parallel scatter of every chunk to its output offset.
+func CopyIf[T any](p Policy, dst, src []T, pred func(T) bool) int {
+	n := len(src)
+	if !p.parallel(n) {
+		w := 0
+		dst = dst[:cap(dst)]
+		for _, v := range src {
+			if pred(v) {
+				dst[w] = v
+				w++
+			}
+		}
+		return w
+	}
+	chunks := p.chunks(n)
+	counts := make([]int, len(chunks))
+	p.forEachChunk(chunks, func(ci int) {
+		c := 0
+		for _, v := range src[chunks[ci].Lo:chunks[ci].Hi] {
+			if pred(v) {
+				c++
+			}
+		}
+		counts[ci] = c
+	})
+	offsets := make([]int, len(chunks)+1)
+	for ci, c := range counts {
+		offsets[ci+1] = offsets[ci] + c
+	}
+	total := offsets[len(chunks)]
+	if total > cap(dst) {
+		panic("core.CopyIf: dst capacity too small")
+	}
+	dst = dst[:cap(dst)]
+	p.forEachChunk(chunks, func(ci int) {
+		w := offsets[ci]
+		for _, v := range src[chunks[ci].Lo:chunks[ci].Hi] {
+			if pred(v) {
+				dst[w] = v
+				w++
+			}
+		}
+	})
+	return total
+}
+
+// RemoveCopyIf appends the elements of src that do NOT satisfy pred to
+// dst[:0] and returns the number written (std::remove_copy_if).
+func RemoveCopyIf[T any](p Policy, dst, src []T, pred func(T) bool) int {
+	return CopyIf(p, dst, src, func(v T) bool { return !pred(v) })
+}
+
+// RemoveIf compacts s in place, keeping only elements that do not satisfy
+// pred, and returns the new logical length (std::remove_if + erase). The
+// relative order of the kept elements is preserved. The parallel version
+// compacts into a temporary and copies back: an in-place parallel scatter
+// would let one chunk overwrite elements another chunk has not read yet.
+func RemoveIf[T any](p Policy, s []T, pred func(T) bool) int {
+	n := len(s)
+	if !p.parallel(n) {
+		w := 0
+		for i := 0; i < n; i++ {
+			if !pred(s[i]) {
+				s[w] = s[i]
+				w++
+			}
+		}
+		return w
+	}
+	tmp := make([]T, n)
+	w := RemoveCopyIf(p, tmp, s, pred)
+	Copy(p, s[:w], tmp[:w])
+	return w
+}
+
+// Remove compacts s in place, dropping elements equal to v, and returns the
+// new logical length (std::remove + erase).
+func Remove[T comparable](p Policy, s []T, v T) int {
+	return RemoveIf(p, s, func(e T) bool { return e == v })
+}
+
+// Unique compacts consecutive duplicate elements of s in place and returns
+// the new logical length (std::unique + erase).
+func Unique[T comparable](p Policy, s []T) int {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	// An element survives iff it differs from its predecessor (the first
+	// always survives); expressed that way, unique is RemoveIf over
+	// indices, which parallelizes with the same compaction scheme.
+	if !p.parallel(n) {
+		w := 1
+		for i := 1; i < n; i++ {
+			if s[i] != s[w-1] {
+				s[w] = s[i]
+				w++
+			}
+		}
+		return w
+	}
+	keep := func(i int) bool { return i == 0 || s[i] != s[i-1] }
+	chunks := p.chunks(n)
+	counts := make([]int, len(chunks))
+	p.forEachChunk(chunks, func(ci int) {
+		c := 0
+		for i := chunks[ci].Lo; i < chunks[ci].Hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[ci] = c
+	})
+	offsets := make([]int, len(chunks)+1)
+	for ci, c := range counts {
+		offsets[ci+1] = offsets[ci] + c
+	}
+	tmp := make([]T, offsets[len(chunks)])
+	p.forEachChunk(chunks, func(ci int) {
+		w := offsets[ci]
+		for i := chunks[ci].Lo; i < chunks[ci].Hi; i++ {
+			if keep(i) {
+				tmp[w] = s[i]
+				w++
+			}
+		}
+	})
+	Copy(p, s, tmp)
+	return len(tmp)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// findBlock is the number of candidate indices a worker examines between
+// checks of the shared early-exit bound. It trades cancellation latency
+// against synchronization cost — the overhead the paper's X::find results
+// make visible.
+const findBlock = 1024
+
+// findFirstIndex returns the smallest index i in [0, n) for which match(i)
+// is true, or -1 if there is none. In parallel mode, workers publish the
+// best index found so far through an atomic bound and abandon regions that
+// can no longer improve it.
+func findFirstIndex(p Policy, n int, match func(i int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	if !p.parallel(n) {
+		for i := 0; i < n; i++ {
+			if match(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	var best atomic.Int64
+	best.Store(int64(n))
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		for blockLo := lo; blockLo < hi; blockLo += findBlock {
+			if int64(blockLo) >= best.Load() {
+				return // a better match exists before this chunk
+			}
+			blockHi := blockLo + findBlock
+			if blockHi > hi {
+				blockHi = hi
+			}
+			for i := blockLo; i < blockHi; i++ {
+				if match(i) {
+					storeMin(&best, int64(i))
+					return // first match in a forward scan of the chunk
+				}
+			}
+		}
+	})
+	if got := best.Load(); got < int64(n) {
+		return int(got)
+	}
+	return -1
+}
+
+// storeMin atomically lowers a to v if v is smaller.
+func storeMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Find returns the index of the first element of s equal to v, or -1
+// (std::find).
+func Find[T comparable](p Policy, s []T, v T) int {
+	return findFirstIndex(p, len(s), func(i int) bool { return s[i] == v })
+}
+
+// FindIf returns the index of the first element satisfying pred, or -1
+// (std::find_if).
+func FindIf[T any](p Policy, s []T, pred func(T) bool) int {
+	return findFirstIndex(p, len(s), func(i int) bool { return pred(s[i]) })
+}
+
+// FindIfNot returns the index of the first element not satisfying pred, or
+// -1 (std::find_if_not).
+func FindIfNot[T any](p Policy, s []T, pred func(T) bool) int {
+	return findFirstIndex(p, len(s), func(i int) bool { return !pred(s[i]) })
+}
+
+// FindFirstOf returns the index of the first element of s that equals any
+// element of set, or -1 (std::find_first_of).
+func FindFirstOf[T comparable](p Policy, s, set []T) int {
+	if len(set) == 0 {
+		return -1
+	}
+	return findFirstIndex(p, len(s), func(i int) bool {
+		for _, w := range set {
+			if s[i] == w {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// AdjacentFind returns the first index i such that pred(s[i], s[i+1]), or
+// -1 (std::adjacent_find).
+func AdjacentFind[T any](p Policy, s []T, pred func(a, b T) bool) int {
+	return findFirstIndex(p, len(s)-1, func(i int) bool { return pred(s[i], s[i+1]) })
+}
+
+// Search returns the index of the first occurrence of sub in s, or -1
+// (std::search). An empty sub matches at index 0.
+func Search[T comparable](p Policy, s, sub []T) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	n := len(s) - len(sub) + 1
+	return findFirstIndex(p, n, func(i int) bool {
+		for j, w := range sub {
+			if s[i+j] != w {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// SearchN returns the index of the first run of count consecutive elements
+// equal to v, or -1 (std::search_n). count <= 0 matches at index 0.
+func SearchN[T comparable](p Policy, s []T, count int, v T) int {
+	if count <= 0 {
+		return 0
+	}
+	n := len(s) - count + 1
+	return findFirstIndex(p, n, func(i int) bool {
+		for j := 0; j < count; j++ {
+			if s[i+j] != v {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// FindEnd returns the index of the last occurrence of sub in s, or -1
+// (std::find_end). An empty sub matches at index len(s).
+func FindEnd[T comparable](p Policy, s, sub []T) int {
+	if len(sub) == 0 {
+		return len(s)
+	}
+	n := len(s) - len(sub) + 1
+	if n <= 0 {
+		return -1
+	}
+	// Search the mirrored index space so the early-exit machinery, which
+	// minimizes, finds the maximal match position.
+	ri := findFirstIndex(p, n, func(i int) bool {
+		pos := n - 1 - i
+		for j, w := range sub {
+			if s[pos+j] != w {
+				return false
+			}
+		}
+		return true
+	})
+	if ri < 0 {
+		return -1
+	}
+	return n - 1 - ri
+}

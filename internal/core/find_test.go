@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFindMatchesSequentialReference(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(7))
+		for _, n := range testSizes {
+			s := randomInts(rng, n, 50)
+			for trial := 0; trial < 5; trial++ {
+				v := rng.Intn(60) // sometimes absent
+				want := -1
+				for i, e := range s {
+					if e == v {
+						want = i
+						break
+					}
+				}
+				if got := Find(p, s, v); got != want {
+					t.Fatalf("n=%d v=%d: Find=%d want %d", n, v, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestFindReturnsFirstOccurrence(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := make([]int, 20000)
+		// Plant duplicates at several positions; Find must return the
+		// earliest even when a later chunk finds its copy first.
+		for _, pos := range []int{19999, 15000, 8000, 3001} {
+			s[pos] = 9
+		}
+		if got := Find(p, s, 9); got != 3001 {
+			t.Fatalf("Find = %d, want 3001", got)
+		}
+	})
+}
+
+func TestFindPaperScenario(t *testing.T) {
+	// The paper's X::find: v = [1..n], search for a random element.
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(42))
+		s := iota(1 << 15)
+		for trial := 0; trial < 10; trial++ {
+			want := rng.Intn(len(s))
+			if got := Find(p, s, float64(want+1)); got != want {
+				t.Fatalf("Find(%d) = %d", want+1, got)
+			}
+		}
+	})
+}
+
+func TestFindIfAndFindIfNot(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := iota(10000)
+		if got := FindIf(p, s, func(v float64) bool { return v > 5000 }); got != 5000 {
+			t.Fatalf("FindIf = %d", got)
+		}
+		if got := FindIf(p, s, func(v float64) bool { return v < 0 }); got != -1 {
+			t.Fatalf("FindIf absent = %d", got)
+		}
+		if got := FindIfNot(p, s, func(v float64) bool { return v < 9000 }); got != 8999 {
+			t.Fatalf("FindIfNot = %d", got)
+		}
+		if got := FindIfNot(p, s, func(v float64) bool { return v > 0 }); got != -1 {
+			t.Fatalf("FindIfNot all-true = %d", got)
+		}
+	})
+}
+
+func TestFindEmptyAndSingleton(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		if got := Find(p, []int{}, 1); got != -1 {
+			t.Fatalf("empty: %d", got)
+		}
+		if got := Find(p, []int{5}, 5); got != 0 {
+			t.Fatalf("singleton hit: %d", got)
+		}
+		if got := Find(p, []int{5}, 6); got != -1 {
+			t.Fatalf("singleton miss: %d", got)
+		}
+	})
+}
+
+func TestFindFirstOf(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := []int{9, 8, 7, 2, 6, 3, 5}
+		if got := FindFirstOf(p, s, []int{3, 2}); got != 3 {
+			t.Fatalf("FindFirstOf = %d", got)
+		}
+		if got := FindFirstOf(p, s, []int{100}); got != -1 {
+			t.Fatalf("FindFirstOf absent = %d", got)
+		}
+		if got := FindFirstOf(p, s, nil); got != -1 {
+			t.Fatalf("FindFirstOf empty set = %d", got)
+		}
+	})
+}
+
+func TestAdjacentFind(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		eq := func(a, b int) bool { return a == b }
+		s := make([]int, 20000)
+		for i := range s {
+			s[i] = i
+		}
+		if got := AdjacentFind(p, s, eq); got != -1 {
+			t.Fatalf("no adjacent pair expected, got %d", got)
+		}
+		s[12345] = s[12344]
+		if got := AdjacentFind(p, s, eq); got != 12344 {
+			t.Fatalf("AdjacentFind = %d, want 12344", got)
+		}
+		if got := AdjacentFind(p, []int{1}, eq); got != -1 {
+			t.Fatalf("singleton: %d", got)
+		}
+		if got := AdjacentFind(p, []int{}, eq); got != -1 {
+			t.Fatalf("empty: %d", got)
+		}
+	})
+}
+
+func TestSearch(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := []byte("the quick brown fox jumps over the lazy dog the end")
+		cases := []struct {
+			sub  string
+			want int
+		}{
+			{"the", 0},
+			{"fox", 16},
+			{"end", 48},
+			{"cat", -1},
+			{"", 0},
+			{"the quick brown fox jumps over the lazy dog the end!", -1},
+		}
+		for _, c := range cases {
+			if got := Search(p, s, []byte(c.sub)); got != c.want {
+				t.Fatalf("Search(%q) = %d, want %d", c.sub, got, c.want)
+			}
+		}
+	})
+}
+
+func TestSearchLargeInput(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := make([]int, 40000)
+		sub := []int{1, 2, 3, 4}
+		copy(s[33333:], sub)
+		if got := Search(p, s, sub); got != 33333 {
+			t.Fatalf("Search = %d", got)
+		}
+	})
+}
+
+func TestSearchN(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := []int{1, 0, 0, 1, 0, 0, 0, 1}
+		if got := SearchN(p, s, 3, 0); got != 4 {
+			t.Fatalf("SearchN = %d, want 4", got)
+		}
+		if got := SearchN(p, s, 4, 0); got != -1 {
+			t.Fatalf("SearchN(4) = %d", got)
+		}
+		if got := SearchN(p, s, 0, 0); got != 0 {
+			t.Fatalf("SearchN(0) = %d", got)
+		}
+	})
+}
+
+func TestFindEnd(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := []int{1, 2, 3, 1, 2, 3, 1, 2}
+		if got := FindEnd(p, s, []int{1, 2, 3}); got != 3 {
+			t.Fatalf("FindEnd = %d, want 3", got)
+		}
+		if got := FindEnd(p, s, []int{1, 2}); got != 6 {
+			t.Fatalf("FindEnd trailing = %d, want 6", got)
+		}
+		if got := FindEnd(p, s, []int{7}); got != -1 {
+			t.Fatalf("FindEnd absent = %d", got)
+		}
+		if got := FindEnd(p, s, nil); got != len(s) {
+			t.Fatalf("FindEnd empty = %d", got)
+		}
+		if got := FindEnd(p, []int{1}, []int{1, 2}); got != -1 {
+			t.Fatalf("FindEnd longer-sub = %d", got)
+		}
+	})
+}

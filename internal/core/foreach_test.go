@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachAppliesToEveryElement(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		for _, n := range testSizes {
+			s := iota(n)
+			ForEach(p, s, func(v *float64) { *v *= 2 })
+			for i, v := range s {
+				if v != 2*float64(i+1) {
+					t.Fatalf("n=%d: s[%d] = %v", n, i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestForEachKernelMatchesPaper(t *testing.T) {
+	// The paper's for_each kernel (Listing 1): run k_it increments and
+	// store the result into the element.
+	kit := 37
+	kernel := func(v *float64) {
+		var a float64
+		for i := 0; i < kit; i++ {
+			a++
+		}
+		*v = a
+	}
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := iota(5000)
+		ForEach(p, s, kernel)
+		for i, v := range s {
+			if v != float64(kit) {
+				t.Fatalf("s[%d] = %v, want %d", i, v, kit)
+			}
+		}
+	})
+}
+
+func TestForEachIndex(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := make([]int, 10000)
+		ForEachIndex(p, s, func(i int, v *int) { *v = i * i })
+		for i, v := range s {
+			if v != i*i {
+				t.Fatalf("s[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestForEachN(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := make([]int, 100)
+		got := ForEachN(p, s, 60, func(v *int) { *v = 1 })
+		if got != 60 {
+			t.Fatalf("ForEachN returned %d", got)
+		}
+		for i, v := range s {
+			want := 0
+			if i < 60 {
+				want = 1
+			}
+			if v != want {
+				t.Fatalf("s[%d] = %d, want %d", i, v, want)
+			}
+		}
+	})
+}
+
+func TestForEachNPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{-1, 11} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d: no panic", n)
+				}
+			}()
+			ForEachN(Seq(), make([]int, 10), n, func(*int) {})
+		}()
+	}
+}
+
+func TestGenerateIsDeterministicAcrossPolicies(t *testing.T) {
+	want := make([]int, 8192)
+	Generate(Seq(), want, func(i int) int { return i*31 + 7 })
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		got := make([]int, len(want))
+		Generate(p, got, func(i int) int { return i*31 + 7 })
+		if !equalSlices(got, want) {
+			t.Fatal("parallel Generate differs from sequential")
+		}
+	})
+}
+
+func TestGenerateN(t *testing.T) {
+	s := make([]int, 10)
+	n := GenerateN(Seq(), s, 4, func(i int) int { return i + 1 })
+	if n != 4 || !equalSlices(s, []int{1, 2, 3, 4, 0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("GenerateN: n=%d s=%v", n, s)
+	}
+}
+
+func TestFillAndFillN(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := make([]int, 9999)
+		Fill(p, s, 42)
+		for i, v := range s {
+			if v != 42 {
+				t.Fatalf("s[%d] = %d", i, v)
+			}
+		}
+		FillN(p, s, 100, 7)
+		if s[99] != 7 || s[100] != 42 {
+			t.Fatalf("FillN boundary: s[99]=%d s[100]=%d", s[99], s[100])
+		}
+	})
+}
+
+func TestForEachEachElementVisitedExactlyOnce(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(1))
+		n := 5000 + rng.Intn(5000)
+		visits := make([]atomic.Int32, n)
+		s := make([]int, n)
+		ForEachIndex(p, s, func(i int, _ *int) { visits[i].Add(1) })
+		for i := range visits {
+			if c := visits[i].Load(); c != 1 {
+				t.Fatalf("element %d visited %d times", i, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+// IsPartitioned reports whether s is partitioned by pred: every element
+// satisfying pred appears before every element that does not
+// (std::is_partitioned).
+func IsPartitioned[T any](p Policy, s []T, pred func(T) bool) bool {
+	first := FindIfNot(p, s, pred)
+	if first < 0 {
+		return true
+	}
+	return NoneOf(p, s[first:], pred)
+}
+
+// PartitionPoint returns the index of the first element that does not
+// satisfy pred in a partitioned slice (std::partition_point). It is a
+// binary search and therefore sequential.
+func PartitionPoint[T any](s []T, pred func(T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pred(s[mid]) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// StablePartition rearranges s so that every element satisfying pred
+// precedes every element that does not, preserving relative order within
+// both groups, and returns the partition point (std::stable_partition).
+// The parallel version is the standard two-stream compaction into a
+// temporary buffer.
+func StablePartition[T any](p Policy, s []T, pred func(T) bool) int {
+	n := len(s)
+	if !p.parallel(n) {
+		tmp := make([]T, 0, n)
+		w := 0
+		for _, v := range s {
+			if pred(v) {
+				s[w] = v
+				w++
+			} else {
+				tmp = append(tmp, v)
+			}
+		}
+		copy(s[w:], tmp)
+		return w
+	}
+	tmp := make([]T, n)
+	k := CopyIf(p, tmp, s, pred)
+	RemoveCopyIf(p, tmp[k:k:n], s, pred)
+	Copy(p, s, tmp)
+	return k
+}
+
+// Partition rearranges s so that every element satisfying pred precedes
+// every element that does not and returns the partition point
+// (std::partition). Order within the groups is not specified; this
+// implementation delegates to StablePartition, which also satisfies the
+// weaker contract.
+func Partition[T any](p Policy, s []T, pred func(T) bool) int {
+	return StablePartition(p, s, pred)
+}
+
+// PartitionCopy splits src into the elements satisfying pred (written to
+// yes[:0]) and the rest (written to no[:0]), preserving order, and returns
+// both counts (std::partition_copy). yes and no must each have capacity for
+// len(src) elements in the worst case.
+func PartitionCopy[T any](p Policy, yes, no, src []T, pred func(T) bool) (nYes, nNo int) {
+	nYes = CopyIf(p, yes, src, pred)
+	nNo = RemoveCopyIf(p, no, src, pred)
+	return nYes, nNo
+}

@@ -1,0 +1,105 @@
+// Package core implements the parallel algorithms of the C++17 standard
+// library (the subset supported by pSTL-Bench, Table 1 of the paper) in Go,
+// generically over the exec.Pool execution substrate.
+//
+// Every algorithm takes a Policy as its first argument, mirroring the
+// std::execution policy parameter of the C++ parallel STL. The policy
+// bundles the execution pool with the partitioning grain and a sequential
+// fallback threshold — the paper shows that backends differ substantially
+// in all three (e.g. GNU's runtime silently runs sequentially below ~2^10
+// elements, TBB auto-partitions into a few chunks per worker, HPX uses a
+// fine task decomposition).
+//
+// Algorithms with early-exit semantics (Find, AnyOf, Mismatch, ...) use a
+// shared atomic bound so that workers abandon chunks that can no longer
+// contain the answer, mirroring the cancellation behaviour whose cost the
+// paper measures for X::find.
+package core
+
+import (
+	"pstlbench/internal/exec"
+)
+
+// Policy selects how an algorithm executes, playing the role of
+// std::execution::seq / par plus the backend-specific tuning the paper
+// studies.
+//
+// The zero value is a valid sequential policy.
+type Policy struct {
+	// Pool is the execution substrate. nil means sequential.
+	Pool exec.Pool
+
+	// Grain is the chunking policy for parallel loops.
+	Grain exec.Grain
+
+	// SeqThreshold is the input size below which algorithms fall back to
+	// their sequential implementation, as the GNU and TBB runtimes do.
+	// 0 means "always parallel when a pool is present".
+	SeqThreshold int
+}
+
+// Seq returns the sequential execution policy.
+func Seq() Policy { return Policy{} }
+
+// Par returns a parallel policy over the given pool with TBB-like
+// auto-partitioning.
+func Par(pool exec.Pool) Policy {
+	return Policy{Pool: pool, Grain: exec.Auto}
+}
+
+// WithGrain returns a copy of the policy using the given grain.
+func (p Policy) WithGrain(g exec.Grain) Policy {
+	p.Grain = g
+	return p
+}
+
+// WithSeqThreshold returns a copy of the policy using the given sequential
+// fallback threshold.
+func (p Policy) WithSeqThreshold(n int) Policy {
+	p.SeqThreshold = n
+	return p
+}
+
+// parallel reports whether an input of n elements should take the parallel
+// path under this policy.
+func (p Policy) parallel(n int) bool {
+	if p.Pool == nil || p.Pool.Workers() < 2 {
+		return false
+	}
+	if n < 2 {
+		return false
+	}
+	return n >= p.SeqThreshold
+}
+
+// pool returns the execution pool, substituting the serial pool when none
+// is configured.
+func (p Policy) pool() exec.Pool {
+	if p.Pool == nil {
+		return exec.Serial{}
+	}
+	return p.Pool
+}
+
+// workers returns the worker count of the underlying pool.
+func (p Policy) workers() int { return p.pool().Workers() }
+
+// chunks returns the chunk decomposition of [0, n) under this policy.
+// All multi-phase algorithms (scan, stable partition, copy-if) derive every
+// phase from the same decomposition so per-chunk intermediate results line
+// up across phases.
+func (p Policy) chunks(n int) []exec.Range {
+	return p.Grain.Partition(n, p.workers())
+}
+
+// forEachChunk runs body over the chunk list on the policy's pool. It is
+// the building block for the multi-phase algorithms, which need an explicit
+// chunk list rather than ForChunks' implicit partition.
+func (p Policy) forEachChunk(chunks []exec.Range, body func(ci int)) {
+	pl := p.pool()
+	pl.ForChunks(len(chunks), exec.Grain{ChunksPerWorker: 1, MaxChunk: 1}, func(_, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			body(ci)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAnyAllNoneOf(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := iota(30000)
+		big := func(v float64) bool { return v > 29999 }
+		neg := func(v float64) bool { return v < 0 }
+		pos := func(v float64) bool { return v > 0 }
+		if !AnyOf(p, s, big) || AnyOf(p, s, neg) {
+			t.Fatal("AnyOf wrong")
+		}
+		if !AllOf(p, s, pos) || AllOf(p, s, big) {
+			t.Fatal("AllOf wrong")
+		}
+		if !NoneOf(p, s, neg) || NoneOf(p, s, pos) {
+			t.Fatal("NoneOf wrong")
+		}
+		// Vacuous truth on empty input.
+		var empty []float64
+		if AnyOf(p, empty, pos) || !AllOf(p, empty, pos) || !NoneOf(p, empty, pos) {
+			t.Fatal("empty-slice semantics wrong")
+		}
+	})
+}
+
+func TestCountAndCountIf(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(83))
+		for _, n := range testSizes {
+			s := randomInts(rng, n, 10)
+			wantEq, wantIf := 0, 0
+			for _, v := range s {
+				if v == 3 {
+					wantEq++
+				}
+				if v%2 == 0 {
+					wantIf++
+				}
+			}
+			if got := Count(p, s, 3); got != wantEq {
+				t.Fatalf("n=%d: Count = %d, want %d", n, got, wantEq)
+			}
+			if got := CountIf(p, s, func(v int) bool { return v%2 == 0 }); got != wantIf {
+				t.Fatalf("n=%d: CountIf = %d, want %d", n, got, wantIf)
+			}
+		}
+	})
+}
+
+func TestEqualAndMismatch(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		a := iota(30000)
+		b := iota(30000)
+		if !Equal(p, a, b) {
+			t.Fatal("equal slices reported unequal")
+		}
+		if got := Mismatch(p, a, b); got != -1 {
+			t.Fatalf("Mismatch = %d", got)
+		}
+		b[12345]++
+		if Equal(p, a, b) {
+			t.Fatal("unequal slices reported equal")
+		}
+		if got := Mismatch(p, a, b); got != 12345 {
+			t.Fatalf("Mismatch = %d, want 12345", got)
+		}
+		if Equal(p, a, a[:100]) {
+			t.Fatal("length mismatch reported equal")
+		}
+		if got := Mismatch(p, a[:100], a); got != -1 {
+			t.Fatalf("prefix Mismatch = %d", got)
+		}
+	})
+}
+
+func TestEqualFunc(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		a := []float64{1.0, 2.0, 3.0}
+		b := []float64{1.04, 1.96, 3.01}
+		approx := func(x, y float64) bool { d := x - y; return d < 0.1 && d > -0.1 }
+		if !EqualFunc(p, a, b, approx) {
+			t.Fatal("approx-equal rejected")
+		}
+		b[1] = 5
+		if EqualFunc(p, a, b, approx) {
+			t.Fatal("non-equal accepted")
+		}
+		if got := MismatchFunc(p, a, b, approx); got != 1 {
+			t.Fatalf("MismatchFunc = %d", got)
+		}
+	})
+}
+
+func TestLexicographicalCompare(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		less := func(a, b byte) bool { return a < b }
+		cases := []struct {
+			a, b string
+			want bool
+		}{
+			{"abc", "abd", true},
+			{"abd", "abc", false},
+			{"abc", "abc", false},
+			{"ab", "abc", true},
+			{"abc", "ab", false},
+			{"", "a", true},
+			{"", "", false},
+		}
+		for _, c := range cases {
+			if got := LexicographicalCompare(p, []byte(c.a), []byte(c.b), less); got != c.want {
+				t.Fatalf("lexcmp(%q,%q) = %v", c.a, c.b, got)
+			}
+		}
+		// Large inputs differing late.
+		a := make([]byte, 50000)
+		b := make([]byte, 50000)
+		b[49999] = 1
+		if !LexicographicalCompare(p, a, b, less) {
+			t.Fatal("large lexcmp wrong")
+		}
+	})
+}
+
+func TestMinMaxElement(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(89))
+		for _, n := range testSizes {
+			if n == 0 {
+				if got := MinElement(p, []int{}, intLess); got != -1 {
+					t.Fatal("empty MinElement != -1")
+				}
+				mn, mx := MinMaxElement(p, []int{}, intLess)
+				if mn != -1 || mx != -1 {
+					t.Fatal("empty MinMaxElement != (-1,-1)")
+				}
+				continue
+			}
+			s := randomInts(rng, n, 1000)
+			wantMin, wantMax := 0, 0
+			for i, v := range s {
+				if v < s[wantMin] {
+					wantMin = i
+				}
+				if v > s[wantMax] {
+					wantMax = i
+				}
+			}
+			if got := MinElement(p, s, intLess); s[got] != s[wantMin] {
+				t.Fatalf("n=%d: MinElement value %d", n, s[got])
+			}
+			if got := MaxElement(p, s, intLess); s[got] != s[wantMax] {
+				t.Fatalf("n=%d: MaxElement value %d", n, s[got])
+			}
+		}
+	})
+}
+
+func TestMinMaxElementTieBreaking(t *testing.T) {
+	// C++ semantics: min_element returns the FIRST minimum,
+	// minmax_element returns the first min and the LAST max.
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		s := make([]int, 20000)
+		for i := range s {
+			s[i] = 5
+		}
+		if got := MinElement(p, s, intLess); got != 0 {
+			t.Fatalf("first-min: got %d", got)
+		}
+		if got := MaxElement(p, s, intLess); got != 0 {
+			t.Fatalf("first-max: got %d", got)
+		}
+		mn, mx := MinMaxElement(p, s, intLess)
+		if mn != 0 || mx != len(s)-1 {
+			t.Fatalf("minmax ties: (%d, %d), want (0, %d)", mn, mx, len(s)-1)
+		}
+	})
+}
+
+func TestSetOperations(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		a := []int{1, 2, 2, 3, 5, 8}
+		b := []int{2, 3, 4, 8, 9}
+		buf := make([]int, len(a)+len(b))
+
+		n := SetUnion(p, buf, a, b, intLess)
+		if !equalSlices(buf[:n], []int{1, 2, 2, 3, 4, 5, 8, 9}) {
+			t.Fatalf("union = %v", buf[:n])
+		}
+		n = SetIntersection(p, buf, a, b, intLess)
+		if !equalSlices(buf[:n], []int{2, 3, 8}) {
+			t.Fatalf("intersection = %v", buf[:n])
+		}
+		n = SetDifference(p, buf, a, b, intLess)
+		if !equalSlices(buf[:n], []int{1, 2, 5}) {
+			t.Fatalf("difference = %v", buf[:n])
+		}
+		n = SetSymmetricDifference(p, buf, a, b, intLess)
+		if !equalSlices(buf[:n], []int{1, 2, 4, 5, 9}) {
+			t.Fatalf("symmetric difference = %v", buf[:n])
+		}
+	})
+}
+
+func TestIncludes(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		a := []int{1, 2, 2, 3, 5, 8, 13}
+		if !Includes(p, a, []int{2, 5}, intLess) {
+			t.Fatal("subset rejected")
+		}
+		if !Includes(p, a, []int{2, 2}, intLess) {
+			t.Fatal("multiset subset rejected")
+		}
+		if Includes(p, a, []int{2, 2, 2}, intLess) {
+			t.Fatal("over-multiplicity accepted")
+		}
+		if Includes(p, a, []int{4}, intLess) {
+			t.Fatal("non-subset accepted")
+		}
+		if !Includes(p, a, nil, intLess) {
+			t.Fatal("empty subset rejected")
+		}
+		if Includes(p, nil, []int{1}, intLess) {
+			t.Fatal("empty superset accepted")
+		}
+	})
+}
+
+func TestIncludesLargeMultiset(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, p Policy) {
+		rng := rand.New(rand.NewSource(97))
+		// a: each value v in [0,100) appears 2..6 times; b samples within
+		// multiplicity (should be included) and beyond (should not).
+		var a, bOK []int
+		for v := 0; v < 2000; v++ {
+			k := 2 + rng.Intn(5)
+			for i := 0; i < k; i++ {
+				a = append(a, v)
+			}
+			for i := 0; i < min(k, 1+rng.Intn(3)); i++ {
+				bOK = append(bOK, v)
+			}
+		}
+		if !Includes(p, a, bOK, intLess) {
+			t.Fatal("valid multiset subset rejected")
+		}
+		bBad := append(append([]int{}, bOK...), 2000) // value absent from a
+		if Includes(p, a, bBad, intLess) {
+			t.Fatal("invalid subset accepted")
+		}
+	})
+}

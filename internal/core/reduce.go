@@ -1,0 +1,97 @@
+package core
+
+// Reduce combines all elements of s with op, starting from init
+// (std::reduce). op must be associative; as with std::reduce, the
+// combination order is unspecified in parallel mode, but it is
+// deterministic for a fixed policy: per-chunk partials are folded in chunk
+// order.
+func Reduce[T any](p Policy, s []T, init T, op func(a, b T) T) T {
+	return TransformReduce(p, s, init, op, func(v T) T { return v })
+}
+
+// Sum returns init plus the sum of all elements of s, the common
+// std::reduce(par, v.begin(), v.end()) case the paper benchmarks.
+func Sum[T Number](p Policy, s []T, init T) T {
+	return Reduce(p, s, init, func(a, b T) T { return a + b })
+}
+
+// Number is the constraint for the arithmetic convenience wrappers.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// TransformReduce applies transform to every element and reduces the
+// results with op starting from init (std::transform_reduce, unary form).
+func TransformReduce[T, U any](p Policy, s []T, init U, op func(a, b U) U, transform func(T) U) U {
+	n := len(s)
+	if !p.parallel(n) {
+		acc := init
+		for _, e := range s {
+			acc = op(acc, transform(e))
+		}
+		return acc
+	}
+	chunks := p.chunks(n)
+	partial := make([]U, len(chunks))
+	hasVal := make([]bool, len(chunks))
+	p.forEachChunk(chunks, func(ci int) {
+		c := chunks[ci]
+		if c.Empty() {
+			return
+		}
+		acc := transform(s[c.Lo])
+		for i := c.Lo + 1; i < c.Hi; i++ {
+			acc = op(acc, transform(s[i]))
+		}
+		partial[ci] = acc
+		hasVal[ci] = true
+	})
+	acc := init
+	for ci := range partial {
+		if hasVal[ci] {
+			acc = op(acc, partial[ci])
+		}
+	}
+	return acc
+}
+
+// TransformReduceBinary applies transform pairwise to a and b and reduces
+// with op starting from init (std::transform_reduce, binary form — the
+// parallel inner product). a and b must have equal length.
+func TransformReduceBinary[T, V, U any](p Policy, a []T, b []V, init U, op func(x, y U) U, transform func(T, V) U) U {
+	if len(a) != len(b) {
+		panic("core.TransformReduceBinary: length mismatch")
+	}
+	n := len(a)
+	if !p.parallel(n) {
+		acc := init
+		for i := range a {
+			acc = op(acc, transform(a[i], b[i]))
+		}
+		return acc
+	}
+	chunks := p.chunks(n)
+	partial := make([]U, len(chunks))
+	hasVal := make([]bool, len(chunks))
+	p.forEachChunk(chunks, func(ci int) {
+		c := chunks[ci]
+		if c.Empty() {
+			return
+		}
+		acc := transform(a[c.Lo], b[c.Lo])
+		for i := c.Lo + 1; i < c.Hi; i++ {
+			acc = op(acc, transform(a[i], b[i]))
+		}
+		partial[ci] = acc
+		hasVal[ci] = true
+	})
+	acc := init
+	for ci := range partial {
+		if hasVal[ci] {
+			acc = op(acc, partial[ci])
+		}
+	}
+	return acc
+}

@@ -1,0 +1,105 @@
+package core
+
+// Reverse reverses s in place (std::reverse). The parallel version swaps
+// mirrored chunks: the iteration space is the first half, and element i
+// swaps with element n-1-i.
+func Reverse[T any](p Policy, s []T) {
+	n := len(s)
+	half := n / 2
+	if !p.parallel(half) {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
+		}
+		return
+	}
+	p.pool().ForChunks(half, p.Grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := n - 1 - i
+			s[i], s[j] = s[j], s[i]
+		}
+	})
+}
+
+// ReverseCopy writes the reverse of src into dst (std::reverse_copy). dst
+// must be at least as long as src and must not overlap it.
+func ReverseCopy[T any](p Policy, dst, src []T) {
+	if len(dst) < len(src) {
+		panic("core.ReverseCopy: dst shorter than src")
+	}
+	n := len(src)
+	if !p.parallel(n) {
+		for i, v := range src {
+			dst[n-1-i] = v
+		}
+		return
+	}
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[n-1-i] = src[i]
+		}
+	})
+}
+
+// SwapRanges exchanges the elements of a and b pairwise (std::swap_ranges).
+// a and b must have equal length and must not overlap.
+func SwapRanges[T any](p Policy, a, b []T) {
+	if len(a) != len(b) {
+		panic("core.SwapRanges: length mismatch")
+	}
+	n := len(a)
+	if !p.parallel(n) {
+		for i := range a {
+			a[i], b[i] = b[i], a[i]
+		}
+		return
+	}
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i], b[i] = b[i], a[i]
+		}
+	})
+}
+
+// Rotate left-rotates s by mid positions so that s[mid] becomes the first
+// element, and returns the new index of the old first element
+// (std::rotate). The parallel version rotates through a temporary buffer.
+func Rotate[T any](p Policy, s []T, mid int) int {
+	n := len(s)
+	if mid < 0 || mid > n {
+		panic("core.Rotate: mid out of range")
+	}
+	if mid == 0 || mid == n {
+		return n - mid
+	}
+	if !p.parallel(n) {
+		// Triple-reversal rotate: O(n) time, O(1) space.
+		reverseSeq(s[:mid])
+		reverseSeq(s[mid:])
+		reverseSeq(s)
+		return n - mid
+	}
+	tmp := make([]T, n)
+	Copy(p, tmp, s[mid:])
+	Copy(p, tmp[n-mid:], s[:mid])
+	Copy(p, s, tmp)
+	return n - mid
+}
+
+// RotateCopy writes the left-rotation of src by mid into dst
+// (std::rotate_copy). dst must be at least as long as src.
+func RotateCopy[T any](p Policy, dst, src []T, mid int) {
+	if mid < 0 || mid > len(src) {
+		panic("core.RotateCopy: mid out of range")
+	}
+	if len(dst) < len(src) {
+		panic("core.RotateCopy: dst shorter than src")
+	}
+	Copy(p, dst, src[mid:])
+	Copy(p, dst[len(src)-mid:], src[:mid])
+}
+
+func reverseSeq[T any](s []T) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

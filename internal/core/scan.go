@@ -1,0 +1,165 @@
+package core
+
+// The scans are the textbook two-phase parallel prefix: phase 1 reduces
+// every chunk, a short sequential pass turns the chunk sums into chunk
+// offsets, and phase 2 rescans every chunk starting from its offset. The
+// parallel version therefore performs ~2x the work of the sequential scan,
+// which is why the paper's X::inclusive_scan only pays off once the input
+// exceeds the last-level cache (Fig. 5).
+
+// InclusiveScan writes the inclusive prefix combination of src into dst
+// using op (std::inclusive_scan): dst[i] = src[0] op ... op src[i].
+// dst must have the same length as src; dst may be src itself for an
+// in-place scan. op must be associative.
+func InclusiveScan[T any](p Policy, dst, src []T, op func(a, b T) T) {
+	TransformInclusiveScan(p, dst, src, op, func(v T) T { return v })
+}
+
+// InclusiveSum is InclusiveScan with addition, the default
+// std::inclusive_scan the paper benchmarks.
+func InclusiveSum[T Number](p Policy, dst, src []T) {
+	InclusiveScan(p, dst, src, func(a, b T) T { return a + b })
+}
+
+// TransformInclusiveScan writes the inclusive prefix combination of
+// transform(src[i]) into dst (std::transform_inclusive_scan).
+func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U) U, transform func(T) U) {
+	if len(dst) != len(src) {
+		panic("core.TransformInclusiveScan: length mismatch")
+	}
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	if !p.parallel(n) {
+		acc := transform(src[0])
+		dst[0] = acc
+		for i := 1; i < n; i++ {
+			acc = op(acc, transform(src[i]))
+			dst[i] = acc
+		}
+		return
+	}
+	chunks := p.chunks(n)
+	sums := make([]U, len(chunks))
+	// Phase 1: reduce every chunk.
+	p.forEachChunk(chunks, func(ci int) {
+		c := chunks[ci]
+		acc := transform(src[c.Lo])
+		for i := c.Lo + 1; i < c.Hi; i++ {
+			acc = op(acc, transform(src[i]))
+		}
+		sums[ci] = acc
+	})
+	// Sequential pass: exclusive prefix of the chunk sums.
+	offsets := make([]U, len(chunks))
+	for ci := 1; ci < len(chunks); ci++ {
+		if ci == 1 {
+			offsets[1] = sums[0]
+		} else {
+			offsets[ci] = op(offsets[ci-1], sums[ci-1])
+		}
+	}
+	// Phase 2: rescan every chunk from its offset.
+	p.forEachChunk(chunks, func(ci int) {
+		c := chunks[ci]
+		var acc U
+		if ci == 0 {
+			acc = transform(src[c.Lo])
+		} else {
+			acc = op(offsets[ci], transform(src[c.Lo]))
+		}
+		dst[c.Lo] = acc
+		for i := c.Lo + 1; i < c.Hi; i++ {
+			acc = op(acc, transform(src[i]))
+			dst[i] = acc
+		}
+	})
+}
+
+// ExclusiveScan writes the exclusive prefix combination of src into dst
+// starting from init (std::exclusive_scan): dst[i] = init op src[0] op ...
+// op src[i-1]. dst may be src itself.
+func ExclusiveScan[T any](p Policy, dst, src []T, init T, op func(a, b T) T) {
+	TransformExclusiveScan(p, dst, src, init, op, func(v T) T { return v })
+}
+
+// TransformExclusiveScan writes the exclusive prefix combination of
+// transform(src[i]) into dst starting from init
+// (std::transform_exclusive_scan).
+func TransformExclusiveScan[T, U any](p Policy, dst []U, src []T, init U, op func(a, b U) U, transform func(T) U) {
+	if len(dst) != len(src) {
+		panic("core.TransformExclusiveScan: length mismatch")
+	}
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	if !p.parallel(n) {
+		acc := init
+		for i := 0; i < n; i++ {
+			next := op(acc, transform(src[i]))
+			dst[i] = acc
+			acc = next
+		}
+		return
+	}
+	chunks := p.chunks(n)
+	sums := make([]U, len(chunks))
+	p.forEachChunk(chunks, func(ci int) {
+		c := chunks[ci]
+		acc := transform(src[c.Lo])
+		for i := c.Lo + 1; i < c.Hi; i++ {
+			acc = op(acc, transform(src[i]))
+		}
+		sums[ci] = acc
+	})
+	offsets := make([]U, len(chunks))
+	offsets[0] = init
+	for ci := 1; ci < len(chunks); ci++ {
+		offsets[ci] = op(offsets[ci-1], sums[ci-1])
+	}
+	p.forEachChunk(chunks, func(ci int) {
+		c := chunks[ci]
+		acc := offsets[ci]
+		for i := c.Lo; i < c.Hi; i++ {
+			next := op(acc, transform(src[i]))
+			dst[i] = acc
+			acc = next
+		}
+	})
+}
+
+// AdjacentDifference writes dst[0] = src[0] and dst[i] = op(src[i],
+// src[i-1]) for i > 0 (std::adjacent_difference). dst must have the same
+// length as src. If dst aliases src, the scan runs sequentially, since the
+// parallel version would race on neighbouring chunk boundaries.
+func AdjacentDifference[T any](p Policy, dst, src []T, op func(cur, prev T) T) {
+	if len(dst) != len(src) {
+		panic("core.AdjacentDifference: length mismatch")
+	}
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	aliased := &dst[0] == &src[0]
+	if aliased || !p.parallel(n) {
+		prev := src[0]
+		dst[0] = prev
+		for i := 1; i < n; i++ {
+			cur := src[i]
+			dst[i] = op(cur, prev)
+			prev = cur
+		}
+		return
+	}
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		if lo == 0 {
+			dst[0] = src[0]
+			lo = 1
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] = op(src[i], src[i-1])
+		}
+	})
+}

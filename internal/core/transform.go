@@ -1,0 +1,76 @@
+package core
+
+// Transform applies fn to every element of src and stores the results in
+// dst (std::transform, unary form). dst must be at least as long as src and
+// may alias it.
+func Transform[T, U any](p Policy, dst []U, src []T, fn func(T) U) {
+	if len(dst) < len(src) {
+		panic("core.Transform: dst shorter than src")
+	}
+	n := len(src)
+	if !p.parallel(n) {
+		for i, v := range src {
+			dst[i] = fn(v)
+		}
+		return
+	}
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = fn(src[i])
+		}
+	})
+}
+
+// TransformBinary applies fn pairwise to a and b and stores the results in
+// dst (std::transform, binary form). a and b must have equal length; dst
+// must be at least that long.
+func TransformBinary[T, V, U any](p Policy, dst []U, a []T, b []V, fn func(T, V) U) {
+	if len(a) != len(b) {
+		panic("core.TransformBinary: length mismatch")
+	}
+	if len(dst) < len(a) {
+		panic("core.TransformBinary: dst too short")
+	}
+	n := len(a)
+	if !p.parallel(n) {
+		for i := range a {
+			dst[i] = fn(a[i], b[i])
+		}
+		return
+	}
+	p.pool().ForChunks(n, p.Grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = fn(a[i], b[i])
+		}
+	})
+}
+
+// Replace substitutes every element equal to old with new_ (std::replace).
+func Replace[T comparable](p Policy, s []T, old, new_ T) {
+	ForEach(p, s, func(e *T) {
+		if *e == old {
+			*e = new_
+		}
+	})
+}
+
+// ReplaceIf substitutes every element satisfying pred with v
+// (std::replace_if).
+func ReplaceIf[T any](p Policy, s []T, pred func(T) bool, v T) {
+	ForEach(p, s, func(e *T) {
+		if pred(*e) {
+			*e = v
+		}
+	})
+}
+
+// ReplaceCopy copies src into dst substituting old with new_
+// (std::replace_copy).
+func ReplaceCopy[T comparable](p Policy, dst, src []T, old, new_ T) {
+	Transform(p, dst, src, func(v T) T {
+		if v == old {
+			return new_
+		}
+		return v
+	})
+}

@@ -1,0 +1,154 @@
+// Package counters provides the hardware-performance-counter model of the
+// benchmark suite: a counter set mirroring the Likwid/PAPI metrics the
+// paper reports (Tables 3 and 4), and a Likwid-Marker-style region API so
+// harness code can bracket exactly the STL call, excluding setup — the
+// property pSTL-Bench gets from the Likwid Marker API.
+//
+// In native runs only wall time is measurable (Go exposes no PMU access);
+// in simulated runs the discrete-event executor fills in the modeled
+// instruction, floating-point, and DRAM-traffic counts.
+package counters
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Set is one sample of the modeled hardware counters.
+type Set struct {
+	// Instructions is the total retired instruction count (any kind).
+	Instructions float64
+	// FPScalar is the number of scalar double-precision FP instructions.
+	FPScalar float64
+	// FP128 is the number of 128-bit packed FP instructions (2 doubles).
+	FP128 float64
+	// FP256 is the number of 256-bit packed FP instructions (4 doubles).
+	FP256 float64
+	// DRAMBytes is the data volume moved to/from DRAM.
+	DRAMBytes float64
+	// Seconds is the wall time of the region.
+	Seconds float64
+}
+
+// Add accumulates o into s.
+func (s *Set) Add(o Set) {
+	s.Instructions += o.Instructions
+	s.FPScalar += o.FPScalar
+	s.FP128 += o.FP128
+	s.FP256 += o.FP256
+	s.DRAMBytes += o.DRAMBytes
+	s.Seconds += o.Seconds
+}
+
+// Scale multiplies every counter by f and returns the result.
+func (s Set) Scale(f float64) Set {
+	return Set{
+		Instructions: s.Instructions * f,
+		FPScalar:     s.FPScalar * f,
+		FP128:        s.FP128 * f,
+		FP256:        s.FP256 * f,
+		DRAMBytes:    s.DRAMBytes * f,
+		Seconds:      s.Seconds * f,
+	}
+}
+
+// Flops returns the total double-precision operation count.
+func (s Set) Flops() float64 { return s.FPScalar + 2*s.FP128 + 4*s.FP256 }
+
+// GFlopsPerSec returns the double-precision rate in GFLOP/s.
+func (s Set) GFlopsPerSec() float64 {
+	if s.Seconds == 0 {
+		return 0
+	}
+	return s.Flops() / s.Seconds / 1e9
+}
+
+// BandwidthGiBs returns the DRAM bandwidth in GiB/s.
+func (s Set) BandwidthGiBs() float64 {
+	if s.Seconds == 0 {
+		return 0
+	}
+	return s.DRAMBytes / s.Seconds / (1 << 30)
+}
+
+// DataVolumeGiB returns the DRAM data volume in GiB.
+func (s Set) DataVolumeGiB() float64 { return s.DRAMBytes / (1 << 30) }
+
+// SI formats a count with T/G/M/K suffixes in the style of the paper's
+// tables ("1.72T", "107G").
+func SI(v float64) string {
+	switch {
+	case v >= 1e12:
+		return fmt.Sprintf("%.3gT", v/1e12)
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gK", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Registry accumulates counter sets into named regions, in the style of
+// the Likwid Marker API (LIKWID_MARKER_START/STOP). It is safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	regions map[string]*regionData
+}
+
+type regionData struct {
+	set   Set
+	calls int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{regions: make(map[string]*regionData)}
+}
+
+// Record adds one sample to the named region.
+func (r *Registry) Record(region string, s Set) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.regions[region]
+	if d == nil {
+		d = &regionData{}
+		r.regions[region] = d
+	}
+	d.set.Add(s)
+	d.calls++
+}
+
+// Region returns the accumulated counters and call count of a region.
+func (r *Registry) Region(region string) (Set, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.regions[region]
+	if d == nil {
+		return Set{}, 0
+	}
+	return d.set, d.calls
+}
+
+// Regions returns the region names in sorted order.
+func (r *Registry) Regions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.regions))
+	for n := range r.regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all regions.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regions = make(map[string]*regionData)
+}

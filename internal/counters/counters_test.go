@@ -1,0 +1,105 @@
+package counters
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAddAndScale(t *testing.T) {
+	a := Set{Instructions: 10, FPScalar: 2, FP128: 1, FP256: 1, DRAMBytes: 100, Seconds: 1}
+	b := Set{Instructions: 5, FPScalar: 1, DRAMBytes: 50, Seconds: 0.5}
+	a.Add(b)
+	if a.Instructions != 15 || a.DRAMBytes != 150 || a.Seconds != 1.5 {
+		t.Fatalf("Add: %+v", a)
+	}
+	s := a.Scale(2)
+	if s.Instructions != 30 || s.FP128 != 2 || a.Instructions != 15 {
+		t.Fatalf("Scale: %+v (orig %+v)", s, a)
+	}
+}
+
+func TestFlopsAccounting(t *testing.T) {
+	s := Set{FPScalar: 10, FP128: 5, FP256: 2}
+	// 10 + 5*2 + 2*4 = 28 double-precision operations.
+	if got := s.Flops(); got != 28 {
+		t.Fatalf("Flops = %v", got)
+	}
+	s.Seconds = 2
+	if got, want := s.GFlopsPerSec(), 28.0/2/1e9; got != want {
+		t.Fatalf("GFlopsPerSec = %v, want %v", got, want)
+	}
+}
+
+func TestRatesZeroTime(t *testing.T) {
+	s := Set{FPScalar: 100, DRAMBytes: 1 << 30}
+	if s.GFlopsPerSec() != 0 || s.BandwidthGiBs() != 0 {
+		t.Fatal("zero-time rates should be 0")
+	}
+	if s.DataVolumeGiB() != 1 {
+		t.Fatalf("DataVolumeGiB = %v", s.DataVolumeGiB())
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	s := Set{DRAMBytes: 2 << 30, Seconds: 2}
+	if got := s.BandwidthGiBs(); got != 1 {
+		t.Fatalf("BandwidthGiBs = %v", got)
+	}
+}
+
+func TestSIFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1.72e12: "1.72T",
+		107e9:   "107G",
+		26e9:    "26G",
+		1.33e6:  "1.33M",
+		12.8e3:  "12.8K",
+		42:      "42",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Errorf("SI(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Record("reduce", Set{Instructions: 10})
+	r.Record("reduce", Set{Instructions: 5})
+	r.Record("find", Set{Instructions: 1})
+	s, calls := r.Region("reduce")
+	if s.Instructions != 15 || calls != 2 {
+		t.Fatalf("reduce region: %v, %d calls", s.Instructions, calls)
+	}
+	if _, calls := r.Region("missing"); calls != 0 {
+		t.Fatal("missing region should have 0 calls")
+	}
+	names := r.Regions()
+	if len(names) != 2 || names[0] != "find" || names[1] != "reduce" {
+		t.Fatalf("Regions = %v", names)
+	}
+	r.Reset()
+	if _, calls := r.Region("reduce"); calls != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record("hot", Set{Instructions: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s, calls := r.Region("hot")
+	if s.Instructions != 8000 || calls != 8000 {
+		t.Fatalf("concurrent recording lost samples: %v/%d", s.Instructions, calls)
+	}
+}

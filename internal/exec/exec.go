@@ -1,0 +1,207 @@
+// Package exec defines the executor abstraction shared by the native
+// goroutine pools (package native) and the performance simulator
+// (package simexec).
+//
+// The central idea of pSTL-Bench is that the *same* algorithm exhibits very
+// different scalability depending on how its iteration space is partitioned
+// and scheduled by the backend runtime (TBB work stealing, OpenMP static
+// fork-join, HPX futures, ...).  This package therefore separates
+//
+//   - the partitioning policy (Grain): how an iteration space [0,n) is cut
+//     into chunks, and
+//   - the execution substrate (Pool): what runs those chunks.
+//
+// Both the real goroutine pools and the discrete-event simulator consume
+// the chunk lists produced by Partition, so the schedule that is simulated
+// is the schedule the library actually runs.
+package exec
+
+// Range is a half-open interval [Lo, Hi) of an iteration space.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of iterations in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Empty reports whether the range contains no iterations.
+func (r Range) Empty() bool { return r.Hi <= r.Lo }
+
+// Grain describes a chunking policy for a parallel loop. The zero value
+// means "static": exactly one chunk per worker.
+type Grain struct {
+	// ChunksPerWorker is the target number of chunks per worker.
+	// 0 or 1 yields a static schedule (one chunk per worker); larger
+	// values produce finer chunks that load-balance better at the cost
+	// of per-task overhead. TBB's auto_partitioner is approximated with
+	// 4, HPX's fine-grained task decomposition with 32.
+	ChunksPerWorker int
+
+	// MinChunk is the minimum chunk size in iterations; finer grains are
+	// coalesced. 0 means 1.
+	MinChunk int
+
+	// MaxChunk, if positive, caps the chunk size in iterations,
+	// producing more chunks than ChunksPerWorker would alone.
+	MaxChunk int
+}
+
+// Static is the OpenMP-style static schedule: one contiguous chunk per
+// worker.
+var Static = Grain{ChunksPerWorker: 1}
+
+// Auto approximates TBB's auto_partitioner: a few chunks per worker so the
+// scheduler can rebalance.
+var Auto = Grain{ChunksPerWorker: 4}
+
+// Fine is a fine-grained decomposition in the style of HPX task futures.
+var Fine = Grain{ChunksPerWorker: 32}
+
+// Guided marks the OpenMP schedule(guided) policy: geometrically
+// decreasing chunk sizes — large chunks first for low overhead, small
+// chunks last for load balance.
+var Guided = Grain{ChunksPerWorker: guidedMarker}
+
+// guidedMarker selects the guided partitioning path in Partition.
+const guidedMarker = -1
+
+// ChunkCount returns the number of chunks Partition will produce for an
+// iteration space of n elements on the given number of workers.
+func (g Grain) ChunkCount(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if g.ChunksPerWorker == guidedMarker {
+		return len(g.Partition(n, workers))
+	}
+	cpw := g.ChunksPerWorker
+	if cpw < 1 {
+		cpw = 1
+	}
+	chunks := workers * cpw
+	minChunk := g.MinChunk
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxByMin := (n + minChunk - 1) / minChunk; chunks > maxByMin {
+		chunks = maxByMin
+	}
+	if g.MaxChunk > 0 {
+		if minByMax := (n + g.MaxChunk - 1) / g.MaxChunk; chunks < minByMax {
+			chunks = minByMax
+		}
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+	return chunks
+}
+
+// Partition cuts [0, n) into the chunk list prescribed by the grain policy
+// for the given worker count. Chunks are contiguous, non-overlapping, and
+// cover [0, n) exactly; except for the guided policy they differ in size
+// by at most one iteration.
+func (g Grain) Partition(n, workers int) []Range {
+	if g.ChunksPerWorker == guidedMarker {
+		return guidedPartition(n, workers, g.MinChunk)
+	}
+	chunks := g.ChunkCount(n, workers)
+	if chunks == 0 {
+		return nil
+	}
+	out := make([]Range, 0, chunks)
+	base := n / chunks
+	rem := n % chunks
+	lo := 0
+	for i := 0; i < chunks; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// Pool is an execution substrate for parallel loops and task groups.
+//
+// Implementations must support concurrent independent loops and task
+// groups from multiple goroutines, as well as nested parallelism (a loop
+// body or task may itself call ForChunks or Do). Panics raised by loop
+// bodies or tasks are recovered on the worker and re-raised on the calling
+// goroutine once all siblings have finished.
+type Pool interface {
+	// Workers returns the number of workers the pool schedules onto.
+	// Serial pools return 1.
+	Workers() int
+
+	// ForChunks partitions [0, n) according to g and invokes
+	// body(worker, lo, hi) for every chunk, possibly concurrently.
+	// worker identifies the executing worker in [0, Workers()]; the
+	// value Workers() is used when the calling goroutine itself helps
+	// execute chunks, so per-worker state must be sized Workers()+1.
+	// ForChunks returns after every chunk has completed.
+	ForChunks(n int, g Grain, body func(worker, lo, hi int))
+
+	// Do runs the given thunks, possibly concurrently, and returns after
+	// all of them have completed.
+	Do(fns ...func())
+}
+
+// Serial is the trivial pool: everything runs inline on the calling
+// goroutine. It is the reference implementation against which the parallel
+// pools are tested.
+type Serial struct{}
+
+// Workers returns 1.
+func (Serial) Workers() int { return 1 }
+
+// ForChunks runs the loop body inline as a single chunk.
+func (Serial) ForChunks(n int, _ Grain, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	body(0, 0, n)
+}
+
+// Do runs the thunks sequentially in order.
+func (Serial) Do(fns ...func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// guidedPartition implements OpenMP's schedule(guided): each chunk is
+// remaining/workers iterations, never below minChunk.
+func guidedPartition(n, workers, minChunk int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	var out []Range
+	lo := 0
+	for lo < n {
+		size := (n - lo) / workers
+		if size < minChunk {
+			size = minChunk
+		}
+		if size > n-lo {
+			size = n - lo
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}

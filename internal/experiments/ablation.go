@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/exec"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/report"
+)
+
+// The ablations probe the design decisions called out in DESIGN.md: the
+// grain-size policy, the bandwidth-contention model, and HPX's per-task
+// cost structure. They are extensions beyond the paper's own experiments.
+
+// AblationGrain sweeps the chunks-per-worker grain of the TBB backend for
+// for_each on Mach A: coarser grains reduce per-task overhead, finer
+// grains balance better; the sweet spot the auto_partitioner targets is a
+// few chunks per worker.
+func AblationGrain(cfg Config) *Report {
+	m := machine.MachA()
+	nBig := int64(1) << cfg.maxExp()
+	nSmall := int64(1) << 16
+	t := &report.Table{
+		Title: fmt.Sprintf("for_each k_it=1 on Mach A, 32 threads (GCC-TBB grain sweep; HPX-class task cost in parentheses)"),
+		Headers: []string{"chunks/worker",
+			fmt.Sprintf("n=%d time", nBig), fmt.Sprintf("n=%d time", nSmall)},
+	}
+	timeFor := func(b *backend.Backend, n int64) float64 {
+		return runCase(caseSpec{m: m, b: b, op: backend.OpForEach, n: n, kit: 1, threads: 32, alloc: allocsim.FirstTouch}).Seconds
+	}
+	for _, cpw := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		b := backend.GCCTBB()
+		b.Grain = exec.Grain{ChunksPerWorker: cpw}
+		// The same sweep with HPX-class per-task cost exposes why grain
+		// matters: cheap tasks make the grain invisible at DRAM scale,
+		// expensive ones punish fine grains at small n.
+		bc := backend.GCCTBB()
+		bc.Grain = b.Grain
+		bc.TaskCost, bc.QueuePop = 1.5e-6, 0.8e-6
+		t.AddRow(fmt.Sprintf("%d", cpw),
+			fmt.Sprintf("%.2fms (%.2fms)", timeFor(b, nBig)*1e3, timeFor(bc, nBig)*1e3),
+			fmt.Sprintf("%.1fus (%.1fus)", timeFor(b, nSmall)*1e6, timeFor(bc, nSmall)*1e6))
+	}
+	return &Report{
+		ID: "abl-grain", Title: "Ablation: grain-size policy",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			"at DRAM scale the grain is invisible (bandwidth-bound); at 2^16 fine grains multiply the per-task cost — the regime where the paper's small-size crossovers live",
+		},
+	}
+}
+
+// AblationContention disables the NUMA mechanisms one at a time (remote
+// penalty, fabric cap, node-0 default placement) to show each one's
+// contribution to the memory-bound results.
+func AblationContention(cfg Config) *Report {
+	n := int64(1) << cfg.maxExp()
+	t := &report.Table{
+		Title:   fmt.Sprintf("reduce on Mach B, 64 threads, n=%d: contention mechanisms", n),
+		Headers: []string{"Model variant", "GCC-TBB speedup", "GCC-HPX speedup"},
+	}
+	variants := []struct {
+		name string
+		mod  func(*machine.Machine)
+	}{
+		{"full model", func(*machine.Machine) {}},
+		{"no remote penalty", func(m *machine.Machine) { m.RemoteFactor = 1 }},
+		{"no fabric cap", func(m *machine.Machine) { m.FabricBW = 1e9 }},
+		{"no NUMA at all", func(m *machine.Machine) {
+			m.RemoteFactor = 1
+			m.FabricBW = 1e9
+			m.NUMANodes = 1
+		}},
+	}
+	addRows := func(t *report.Table, mk func() *machine.Machine, op backend.Op) {
+		for _, v := range variants {
+			m := mk()
+			v.mod(m)
+			seq := seqBaseline(caseSpec{m: m, op: op, n: n})
+			row := []string{v.name}
+			for _, b := range []*backend.Backend{backend.GCCTBB(), backend.GCCHPX()} {
+				r := runCase(caseSpec{m: m, b: b, op: op, n: n, threads: m.Cores, alloc: allocsim.FirstTouch})
+				row = append(row, f1(seq/r.Seconds))
+			}
+			t.AddRow(row...)
+		}
+	}
+	addRows(t, machine.MachB, backend.OpReduce)
+	tA := &report.Table{
+		Title:   fmt.Sprintf("for_each k_it=1 on Mach A, 32 threads, n=%d: contention mechanisms", n),
+		Headers: []string{"Model variant", "GCC-TBB speedup", "GCC-HPX speedup"},
+	}
+	addRows(tA, machine.MachA, backend.OpForEach)
+	return &Report{
+		ID: "abl-contention", Title: "Ablation: NUMA contention mechanisms",
+		Tables: []*report.Table{t, tA},
+		Notes: []string{
+			"on Mach B (8 nodes) the fabric cap is the binding constraint for reduce; removing every NUMA effect erases most of the backend differences",
+			"on Mach A (2 nodes) the node-controller contention dominates instead",
+		},
+	}
+}
+
+// AblationCheapFutures asks what HPX's scalability would look like if its
+// futures were as cheap as TBB's tasks: it replaces HPX's cost sheet
+// (fork, per-task, queue pop, per-element overhead) with TBB's while
+// keeping the central-queue strategy.
+func AblationCheapFutures(cfg Config) *Report {
+	m := machine.MachA()
+	n := int64(1) << cfg.maxExp()
+	t := &report.Table{
+		Title:   fmt.Sprintf("for_each k_it=1 on Mach A, n=%d: HPX with hypothetical cheap futures", n),
+		Headers: []string{"threads", "HPX (real)", "HPX (cheap futures)", "GCC-TBB"},
+	}
+	cheap := backend.GCCHPX()
+	tbb := backend.GCCTBB()
+	cheap.ForkBase, cheap.ForkPerThread = tbb.ForkBase, tbb.ForkPerThread
+	cheap.TaskCost, cheap.QueuePop = tbb.TaskCost, 0.1e-6
+	cheap.SetTrait(backend.OpForEach, func(tr *backend.OpTraits) {
+		tt := tbb.Traits(backend.OpForEach)
+		tr.InstrOverheadPerElem = tt.InstrOverheadPerElem
+		tr.IPCFactor = 1
+	})
+	seq := seqBaseline(caseSpec{m: m, op: backend.OpForEach, n: n, kit: 1})
+	for _, th := range m.ThreadCounts() {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, b := range []*backend.Backend{backend.GCCHPX(), cheap, backend.GCCTBB()} {
+			r := runCase(caseSpec{m: m, b: b, op: backend.OpForEach, n: n, kit: 1, threads: th, alloc: allocsim.FirstTouch})
+			row = append(row, f1(seq/r.Seconds))
+		}
+		t.AddRow(row...)
+	}
+	return &Report{
+		ID: "abl-hpx", Title: "Ablation: HPX with TBB-class task costs",
+		Tables: []*report.Table{t},
+		Notes:  []string{"most of HPX's deficit is its per-element abstraction overhead, not the queue: cheap futures close most of the gap"},
+	}
+}

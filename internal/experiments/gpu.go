@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/report"
+	"pstlbench/internal/simexec"
+	"pstlbench/internal/skeleton"
+)
+
+// gpuCase simulates one CUDA invocation on a GPU machine.
+func gpuCase(m *machine.Machine, op backend.Op, n int64, kit int, transferBack, resident bool) float64 {
+	return simexec.Run(simexec.Config{
+		Machine: m, Backend: backend.NVCCUDA(),
+		Workload:     skeleton.Workload{Op: op, N: n, ElemBytes: 4, Kit: kit, HitFrac: 0.5},
+		Threads:      1,
+		TransferBack: transferBack,
+		DataResident: resident,
+	}).Seconds
+}
+
+// gpuProblemChart builds a Figure 8/9-style chart: CPU references (GCC-SEQ
+// and the parallel CPU backends on Mach A) against the two GPUs, using
+// 32-bit floats.
+func gpuProblemChart(op backend.Op, kit, maxExp int, transferBack, resident bool, title string) *report.Chart {
+	ch := &report.Chart{
+		Title:  title,
+		XLabel: "problem size (float elements)", YLabel: "time per call (s)",
+		LogY: true,
+	}
+	sizes := sizesUpTo(maxExp)
+	cpu := machine.MachA()
+	addCPU := func(name string, b *backend.Backend, threads int) {
+		s := report.Series{Name: name}
+		for _, n := range sizes {
+			r := runCase(caseSpec{m: cpu, b: b, op: op, n: n, kit: kit, threads: threads, alloc: allocsim.FirstTouch, elem: 4})
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, r.Seconds)
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	addCPU("GCC-SEQ (Mach A)", backend.GCCSeq(), 1)
+	addCPU("NVC-OMP (Mach A)", backend.NVCOMP(), cpu.Cores)
+	for _, gm := range machine.GPUs() {
+		s := report.Series{Name: "NVC-CUDA (" + gm.Name + ")"}
+		for _, n := range sizes {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, gpuCase(gm, op, n, kit, transferBack, resident))
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	return ch
+}
+
+// Fig8GPUForEach reproduces Figure 8: for_each with float data across
+// computational intensities, with the data transferred back to the host
+// between calls.
+func Fig8GPUForEach(cfg Config) *Report {
+	r := &Report{ID: "fig8", Title: "X::for_each on GPUs, float, forced transfer back (Figure 8)"}
+	maxExp := cfg.maxExp() - 2 // 2^28 floats = 1 GiB fits both GPUs
+	if maxExp < 10 {
+		maxExp = 10
+	}
+	for _, kit := range []int{1, 100, 10000} {
+		r.Charts = append(r.Charts, gpuProblemChart(backend.OpForEach, kit, maxExp, true, false,
+			fmt.Sprintf("for_each, k_it=%d, float, D2H forced", kit)))
+	}
+	r.Notes = append(r.Notes,
+		"paper: at low intensity the transfer cost makes the GPU slower than the CPUs (even sequential for small n); at high intensity the GPUs win by 23.5x (T4) and 13.3x (A2) over the parallel CPU",
+		"volatile quirk (Section 5.8): targeting the GPU, the k_it loop is never optimized away for float, which is why Figure 8 uses float data")
+	return r
+}
+
+// Fig9GPUReduce reproduces Figure 9: reduce with float data, with (a) and
+// without (b) the device-to-host transfer between chained calls.
+func Fig9GPUReduce(cfg Config) *Report {
+	r := &Report{ID: "fig9", Title: "X::reduce on GPUs, float, chained calls (Figure 9)"}
+	maxExp := cfg.maxExp() - 2
+	if maxExp < 10 {
+		maxExp = 10
+	}
+	r.Charts = append(r.Charts,
+		gpuProblemChart(backend.OpReduce, 1, maxExp, true, false, "reduce, float, WITH D2H transfer each call (9a)"),
+		gpuProblemChart(backend.OpReduce, 1, maxExp, false, true, "reduce, float, data resident on device (9b)"),
+	)
+	r.Notes = append(r.Notes,
+		"paper: with transfers the execution is communication-limited and the GPUs can lose even to the sequential CPU; with resident data the GPUs outperform the CPUs")
+	return r
+}

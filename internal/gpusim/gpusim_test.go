@@ -1,0 +1,122 @@
+package gpusim
+
+import (
+	"testing"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/skeleton"
+)
+
+func wl(op backend.Op, n int64, elemBytes, kit int) skeleton.Workload {
+	return skeleton.Workload{Op: op, N: n, ElemBytes: elemBytes, Kit: kit, HitFrac: 0.5}
+}
+
+func TestVolatileQuirk(t *testing.T) {
+	// Section 5.8: targeting the GPU, the volatile loop is removed for
+	// double below 65001 iterations, never for float.
+	if EffectiveKit(8, 1000) != 1 {
+		t.Error("double k_it=1000 should collapse to 1")
+	}
+	if EffectiveKit(8, 65000) != 1 {
+		t.Error("double k_it=65000 should collapse (below the magic number)")
+	}
+	if EffectiveKit(8, 65001) != 65001 {
+		t.Error("double k_it=65001 must survive")
+	}
+	if EffectiveKit(4, 1000) != 1000 {
+		t.Error("float k_it must never collapse")
+	}
+}
+
+func TestTransferDominatesLowIntensity(t *testing.T) {
+	gpu := machine.MachD().GPU
+	br := Run(gpu, wl(backend.OpForEach, 1<<26, 4, 1), Options{TransferBack: true})
+	if br.HostToDevice < br.Kernel*5 {
+		t.Errorf("H2D (%v) should dominate the kernel (%v) at k_it=1", br.HostToDevice, br.Kernel)
+	}
+	if br.DeviceToHost == 0 {
+		t.Error("forced transfer back missing")
+	}
+}
+
+func TestComputeDominatesHighIntensity(t *testing.T) {
+	gpu := machine.MachD().GPU
+	br := Run(gpu, wl(backend.OpForEach, 1<<26, 4, 100000), Options{TransferBack: true})
+	if br.Kernel < br.HostToDevice {
+		t.Errorf("kernel (%v) should dominate transfers (%v) at k_it=1e5", br.Kernel, br.HostToDevice)
+	}
+}
+
+func TestResidentDataSkipsTransfers(t *testing.T) {
+	gpu := machine.MachE().GPU
+	w := wl(backend.OpReduce, 1<<26, 4, 1)
+	with := Run(gpu, w, Options{TransferBack: true})
+	resident := Run(gpu, w, Options{DataResident: true})
+	if resident.HostToDevice != 0 || resident.DeviceToHost != 0 {
+		t.Error("resident run still transfers")
+	}
+	if with.Total() < 5*resident.Total() {
+		t.Errorf("chaining should pay off by a large factor: %v vs %v", with.Total(), resident.Total())
+	}
+}
+
+func TestKernelLaunchFloorsSmallProblems(t *testing.T) {
+	gpu := machine.MachD().GPU
+	small := Run(gpu, wl(backend.OpForEach, 64, 4, 1), Options{DataResident: true})
+	if small.Kernel < gpu.LaunchLatency {
+		t.Errorf("kernel time %v below launch latency %v", small.Kernel, gpu.LaunchLatency)
+	}
+	// Doubling a tiny problem barely changes the time (launch-bound).
+	small2 := Run(gpu, wl(backend.OpForEach, 128, 4, 1), Options{DataResident: true})
+	if small2.Kernel > small.Kernel*1.5 {
+		t.Errorf("launch-bound regime not flat: %v vs %v", small.Kernel, small2.Kernel)
+	}
+}
+
+func TestDeviceBandwidthBoundsBigProblems(t *testing.T) {
+	gpu := machine.MachD().GPU // 264 GB/s
+	n := int64(1) << 28        // 1 GiB of floats
+	br := Run(gpu, wl(backend.OpReduce, n, 4, 1), Options{DataResident: true})
+	minTime := float64(n) * 4 / (gpu.DeviceBW * 1e9)
+	if br.Kernel < minTime {
+		t.Errorf("kernel %v beats the device bandwidth floor %v", br.Kernel, minTime)
+	}
+}
+
+func TestT4FasterThanA2(t *testing.T) {
+	// 264 vs 172 GB/s: the T4 wins memory-bound kernels (Fig. 8's 23.5x
+	// vs 13.3x ordering).
+	w := wl(backend.OpReduce, 1<<27, 4, 1)
+	t4 := Run(machine.MachD().GPU, w, Options{DataResident: true})
+	a2 := Run(machine.MachE().GPU, w, Options{DataResident: true})
+	if t4.Kernel >= a2.Kernel {
+		t.Errorf("T4 (%v) should beat A2 (%v)", t4.Kernel, a2.Kernel)
+	}
+}
+
+func TestSortNeedsMultiplePasses(t *testing.T) {
+	w := wl(backend.OpSort, 1<<24, 4, 1)
+	r := wl(backend.OpReduce, 1<<24, 4, 1)
+	gpu := machine.MachD().GPU
+	sortT := Run(gpu, w, Options{DataResident: true})
+	redT := Run(gpu, r, Options{DataResident: true})
+	if sortT.Kernel < 3*redT.Kernel {
+		t.Errorf("radix sort (%v) should cost several reduce passes (%v)", sortT.Kernel, redT.Kernel)
+	}
+}
+
+func TestZeroN(t *testing.T) {
+	if br := Run(machine.MachD().GPU, wl(backend.OpReduce, 0, 4, 1), Options{}); br.Total() != 0 {
+		t.Error("N=0 should be free")
+	}
+}
+
+func TestNilGPUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(nil, wl(backend.OpReduce, 8, 4, 1), Options{})
+}

@@ -1,0 +1,275 @@
+// Package harness is the measurement engine of the suite — the counterpart
+// of Google Benchmark in pSTL-Bench. It provides:
+//
+//   - State: the per-run handle a benchmark body iterates with
+//     (for state.Next() { ... }), with Range arguments, bytes/items
+//     throughput accounting, and manual per-iteration timing — the
+//     equivalent of pSTL-Bench's WRAP_TIMING macro, which times exactly
+//     the STL call and excludes setup such as reshuffling before sort;
+//   - adaptive iteration-count selection against a minimum measuring time
+//     (--benchmark_min_time in the paper's setup, 5 s there);
+//   - a Suite with registration, regexp filtering, and deterministic
+//     ordering;
+//   - hardware-counter regions in the style of the Likwid Marker API,
+//     recorded into a counters.Registry.
+//
+// Manual timing also lets the simulator drive the same machinery: a
+// benchmark body can run a simulated invocation and report its virtual
+// duration via SetIterationTime, so native and simulated measurements flow
+// through one pipeline.
+package harness
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"time"
+
+	"pstlbench/internal/counters"
+)
+
+// State is the per-benchmark-run state handed to the benchmark body.
+type State struct {
+	name   string
+	args   []int64
+	target int
+
+	iter        int
+	started     bool
+	startTime   time.Time
+	elapsed     time.Duration
+	manual      float64
+	manualMode  bool
+	bytes       int64
+	items       int64
+	ctr         counters.Set
+	ctrRecorded bool
+}
+
+// Name returns the full benchmark name including arguments.
+func (s *State) Name() string { return s.name }
+
+// Range returns the i-th range argument of the benchmark instance, like
+// benchmark::State::range(i).
+func (s *State) Range(i int) int64 {
+	if i < 0 || i >= len(s.args) {
+		panic(fmt.Sprintf("harness: benchmark %s has no range(%d)", s.name, i))
+	}
+	return s.args[i]
+}
+
+// Next advances the measurement loop; the body runs while it returns true.
+// Timing starts at the first call.
+func (s *State) Next() bool {
+	if !s.started {
+		s.started = true
+		s.startTime = time.Now()
+		return s.target > 0
+	}
+	if s.iter++; s.iter < s.target {
+		return true
+	}
+	s.elapsed += time.Since(s.startTime)
+	return false
+}
+
+// Iterations returns the number of iterations of the current run.
+func (s *State) Iterations() int { return s.target }
+
+// PauseTiming excludes the following code from the measured wall time.
+func (s *State) PauseTiming() {
+	s.elapsed += time.Since(s.startTime)
+}
+
+// ResumeTiming resumes the wall-time measurement after PauseTiming.
+func (s *State) ResumeTiming() {
+	s.startTime = time.Now()
+}
+
+// SetIterationTime reports a manually measured duration for the current
+// iteration (WRAP_TIMING / benchmark::State::SetIterationTime). Once
+// called, the benchmark's reported time comes exclusively from manual
+// measurements.
+func (s *State) SetIterationTime(seconds float64) {
+	s.manualMode = true
+	s.manual += seconds
+}
+
+// SetBytesProcessed declares the total bytes processed across all
+// iterations, enabling throughput reporting.
+func (s *State) SetBytesProcessed(n int64) { s.bytes = n }
+
+// SetItemsProcessed declares the total items processed across all
+// iterations.
+func (s *State) SetItemsProcessed(n int64) { s.items = n }
+
+// RecordCounters accumulates modeled hardware counters for the current
+// iteration, in the style of a Likwid marker region around the timed call.
+func (s *State) RecordCounters(c counters.Set) {
+	s.ctrRecorded = true
+	s.ctr.Add(c)
+}
+
+// Benchmark is one registered benchmark.
+type Benchmark struct {
+	// Name identifies the benchmark, e.g. "reduce/GCC-TBB".
+	Name string
+	// Fn is the benchmark body.
+	Fn func(*State)
+	// Args is the list of argument tuples; the benchmark runs once per
+	// tuple (like Google Benchmark's ->Args). Empty means one run with
+	// no arguments.
+	Args [][]int64
+	// MinTime is the minimum accumulated measuring time per instance
+	// (default defaultMinTime).
+	MinTime time.Duration
+	// MaxIterations caps the adaptive iteration search (default 1e9, as
+	// in Google Benchmark).
+	MaxIterations int
+}
+
+const (
+	defaultMinTime  = 100 * time.Millisecond
+	defaultMaxIters = 1_000_000_000
+)
+
+// Result is the measurement of one benchmark instance.
+type Result struct {
+	Name       string
+	Args       []int64
+	Iterations int
+	// Seconds is the average time per iteration.
+	Seconds float64
+	// BytesPerSec is the throughput if SetBytesProcessed was used.
+	BytesPerSec float64
+	// ItemsPerSec is the throughput if SetItemsProcessed was used.
+	ItemsPerSec float64
+	// Counters holds accumulated modeled counters, if recorded.
+	Counters    counters.Set
+	HasCounters bool
+}
+
+// FullName returns the name with argument suffixes ("reduce/1048576").
+func (r Result) FullName() string { return instanceName(r.Name, r.Args) }
+
+func instanceName(name string, args []int64) string {
+	for _, a := range args {
+		name += fmt.Sprintf("/%d", a)
+	}
+	return name
+}
+
+// Suite is a registry of benchmarks.
+type Suite struct {
+	benches []Benchmark
+}
+
+// Register adds a benchmark to the suite.
+func (su *Suite) Register(b Benchmark) {
+	if b.Name == "" || b.Fn == nil {
+		panic("harness: benchmark needs a name and a body")
+	}
+	su.benches = append(su.benches, b)
+}
+
+// Names returns the registered benchmark names in registration order.
+func (su *Suite) Names() []string {
+	out := make([]string, len(su.benches))
+	for i, b := range su.benches {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Run executes every benchmark whose instance name matches filter (nil
+// matches all) and returns the results in deterministic order.
+func (su *Suite) Run(filter *regexp.Regexp) []Result {
+	var results []Result
+	for _, b := range su.benches {
+		argSets := b.Args
+		if len(argSets) == 0 {
+			argSets = [][]int64{nil}
+		}
+		for _, args := range argSets {
+			name := instanceName(b.Name, args)
+			if filter != nil && !filter.MatchString(name) {
+				continue
+			}
+			results = append(results, runOne(b, args))
+		}
+	}
+	return results
+}
+
+// runOne measures a single benchmark instance with the adaptive
+// iteration-count loop: run with n iterations, and while the accumulated
+// measuring time is below MinTime, grow n geometrically based on the
+// observed per-iteration time.
+func runOne(b Benchmark, args []int64) Result {
+	minTime := b.MinTime
+	if minTime <= 0 {
+		minTime = defaultMinTime
+	}
+	maxIters := b.MaxIterations
+	if maxIters <= 0 {
+		maxIters = defaultMaxIters
+	}
+	n := 1
+	var st *State
+	for {
+		st = &State{name: instanceName(b.Name, args), args: args, target: n}
+		b.Fn(st)
+		measured := st.measuredSeconds()
+		if measured >= minTime.Seconds() || n >= maxIters {
+			break
+		}
+		// Predict the iteration count reaching minTime, with head-room,
+		// bounded to a 10x growth per attempt (Google Benchmark's rule).
+		next := n * 10
+		if measured > 0 {
+			predicted := int(float64(n)*minTime.Seconds()/measured*1.4) + 1
+			if predicted < next {
+				next = predicted
+			}
+		}
+		if next <= n {
+			next = n + 1
+		}
+		if next > maxIters {
+			next = maxIters
+		}
+		n = next
+	}
+	res := Result{
+		Name:       b.Name,
+		Args:       args,
+		Iterations: st.target,
+		Counters:   st.ctr,
+	}
+	res.HasCounters = st.ctrRecorded
+	total := st.measuredSeconds()
+	if st.target > 0 {
+		res.Seconds = total / float64(st.target)
+	}
+	if total > 0 {
+		if st.bytes > 0 {
+			res.BytesPerSec = float64(st.bytes) / total
+		}
+		if st.items > 0 {
+			res.ItemsPerSec = float64(st.items) / total
+		}
+	}
+	return res
+}
+
+func (s *State) measuredSeconds() float64 {
+	if s.manualMode {
+		return s.manual
+	}
+	return s.elapsed.Seconds()
+}
+
+// SortResults orders results by full instance name, for stable reporting.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].FullName() < rs[j].FullName() })
+}

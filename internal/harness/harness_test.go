@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"regexp"
+	"testing"
+	"time"
+
+	"pstlbench/internal/counters"
+)
+
+func TestStateLoopRunsTargetIterations(t *testing.T) {
+	st := &State{name: "x", target: 7}
+	n := 0
+	for st.Next() {
+		n++
+	}
+	if n != 7 || st.Iterations() != 7 {
+		t.Fatalf("ran %d iterations, want 7", n)
+	}
+}
+
+func TestStateZeroTarget(t *testing.T) {
+	st := &State{name: "x", target: 0}
+	for st.Next() {
+		t.Fatal("body ran with target 0")
+	}
+}
+
+func TestRangeArguments(t *testing.T) {
+	su := &Suite{}
+	var got []int64
+	su.Register(Benchmark{
+		Name:    "args",
+		Args:    [][]int64{{1024, 3}},
+		MinTime: time.Microsecond,
+		Fn: func(s *State) {
+			got = []int64{s.Range(0), s.Range(1)}
+			for s.Next() {
+			}
+		},
+	})
+	rs := su.Run(nil)
+	if len(rs) != 1 || got[0] != 1024 || got[1] != 3 {
+		t.Fatalf("args = %v", got)
+	}
+	if rs[0].FullName() != "args/1024/3" {
+		t.Fatalf("FullName = %q", rs[0].FullName())
+	}
+}
+
+func TestRangePanicsOutOfBounds(t *testing.T) {
+	st := &State{name: "x", args: []int64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	st.Range(1)
+}
+
+func TestAdaptiveIterationsReachMinTime(t *testing.T) {
+	su := &Suite{}
+	su.Register(Benchmark{
+		Name:    "spin",
+		MinTime: 20 * time.Millisecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				time.Sleep(50 * time.Microsecond)
+			}
+		},
+	})
+	rs := su.Run(nil)
+	// Sleep granularity varies wildly across kernels; assert only that
+	// the adaptive loop grew the count and filled the time budget.
+	if rs[0].Iterations < 2 {
+		t.Fatalf("iterations = %d, adaptive loop never grew", rs[0].Iterations)
+	}
+	if total := rs[0].Seconds * float64(rs[0].Iterations); total < 15e-3 {
+		t.Fatalf("total measured %vs, want >= ~20ms", total)
+	}
+	if rs[0].Seconds < 40e-6 {
+		t.Fatalf("per-iteration time %v implausibly low", rs[0].Seconds)
+	}
+}
+
+func TestManualTimingOverridesWallClock(t *testing.T) {
+	su := &Suite{}
+	su.Register(Benchmark{
+		Name:    "manual",
+		MinTime: time.Millisecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				// Report 1 virtual second per iteration; wall time ~0.
+				s.SetIterationTime(1.0)
+			}
+		},
+	})
+	rs := su.Run(nil)
+	if rs[0].Seconds < 0.99 || rs[0].Seconds > 1.01 {
+		t.Fatalf("manual per-iteration time = %v, want 1s", rs[0].Seconds)
+	}
+	// Manual mode must converge quickly: 1 virtual second >> MinTime.
+	if rs[0].Iterations > 2 {
+		t.Fatalf("iterations = %d; manual time should satisfy MinTime immediately", rs[0].Iterations)
+	}
+}
+
+func TestBytesAndItemsThroughput(t *testing.T) {
+	su := &Suite{}
+	su.Register(Benchmark{
+		Name:    "bw",
+		MinTime: time.Nanosecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(0.5)
+			}
+			s.SetBytesProcessed(int64(s.Iterations()) * 100)
+			s.SetItemsProcessed(int64(s.Iterations()) * 10)
+		},
+	})
+	rs := su.Run(nil)
+	if rs[0].BytesPerSec < 199 || rs[0].BytesPerSec > 201 {
+		t.Fatalf("BytesPerSec = %v, want 200", rs[0].BytesPerSec)
+	}
+	if rs[0].ItemsPerSec < 19.9 || rs[0].ItemsPerSec > 20.1 {
+		t.Fatalf("ItemsPerSec = %v, want 20", rs[0].ItemsPerSec)
+	}
+}
+
+func TestCounterRecording(t *testing.T) {
+	su := &Suite{}
+	su.Register(Benchmark{
+		Name:    "ctr",
+		MinTime: time.Nanosecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(1)
+				s.RecordCounters(counters.Set{Instructions: 5, DRAMBytes: 7})
+			}
+		},
+	})
+	rs := su.Run(nil)
+	if !rs[0].HasCounters {
+		t.Fatal("counters not recorded")
+	}
+	per := rs[0].Counters.Instructions / float64(rs[0].Iterations)
+	if per != 5 {
+		t.Fatalf("instructions per iteration = %v", per)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	su := &Suite{}
+	mk := func(name string) {
+		su.Register(Benchmark{Name: name, MinTime: time.Nanosecond, Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(1)
+			}
+		}})
+	}
+	mk("find/GCC-TBB")
+	mk("find/NVC-OMP")
+	mk("sort/GCC-TBB")
+	rs := su.Run(regexp.MustCompile(`^find/`))
+	if len(rs) != 2 {
+		t.Fatalf("filter matched %d benchmarks, want 2", len(rs))
+	}
+	if got := su.Names(); len(got) != 3 {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestMultipleArgSets(t *testing.T) {
+	su := &Suite{}
+	var seen []int64
+	su.Register(Benchmark{
+		Name:    "sizes",
+		Args:    [][]int64{{8}, {64}, {512}},
+		MinTime: time.Nanosecond,
+		Fn: func(s *State) {
+			seen = append(seen, s.Range(0))
+			for s.Next() {
+				s.SetIterationTime(1)
+			}
+		},
+	})
+	rs := su.Run(nil)
+	if len(rs) != 3 || seen[0] != 8 || seen[2] != 512 {
+		t.Fatalf("arg sets: results=%d seen=%v", len(rs), seen)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Suite{}).Register(Benchmark{Name: "nameless"})
+}
+
+func TestPauseResumeTiming(t *testing.T) {
+	su := &Suite{}
+	su.Register(Benchmark{
+		Name:          "paused",
+		MinTime:       time.Millisecond,
+		MaxIterations: 5,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.PauseTiming()
+				time.Sleep(2 * time.Millisecond) // excluded
+				s.ResumeTiming()
+			}
+		},
+	})
+	rs := su.Run(nil)
+	if rs[0].Seconds > 1e-3 {
+		t.Fatalf("paused time leaked into measurement: %v", rs[0].Seconds)
+	}
+}
+
+func TestSortResults(t *testing.T) {
+	rs := []Result{{Name: "b"}, {Name: "a", Args: []int64{2}}, {Name: "a", Args: []int64{1}}}
+	SortResults(rs)
+	if rs[0].FullName() != "a/1" || rs[2].FullName() != "b" {
+		t.Fatalf("sorted order: %v %v %v", rs[0].FullName(), rs[1].FullName(), rs[2].FullName())
+	}
+}

@@ -1,0 +1,265 @@
+package kernels
+
+import (
+	"math/rand"
+	"slices"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/core"
+	"pstlbench/internal/harness"
+)
+
+// Extended returns the wider benchmark set covering the Table-1 subset
+// that pSTL-Bench supports beyond the five studied kernels. These run
+// natively only (the simulator models the five studied operations); each
+// body validates its own result.
+func Extended() []Kernel {
+	ext := []Kernel{
+		{Name: "transform", Op: backend.OpTransform, Sim: true, Body: transformBody},
+		{Name: "transform_reduce", Body: transformReduceBody},
+		{Name: "exclusive_scan", Body: exclusiveScanBody},
+		{Name: "adjacent_difference", Body: adjacentDifferenceBody},
+		{Name: "count_if", Op: backend.OpCount, Sim: true, Body: countIfBody},
+		{Name: "minmax_element", Op: backend.OpMinMax, Sim: true, Body: minMaxBody},
+		{Name: "copy", Op: backend.OpCopy, Sim: true, Body: copyBody},
+		{Name: "fill", Body: fillBody},
+		{Name: "all_of", Body: allOfBody},
+		{Name: "merge", Body: mergeBody},
+		{Name: "stable_sort", Body: stableSortBody},
+		{Name: "partition", Body: partitionBody},
+		{Name: "unique", Body: uniqueBody},
+		{Name: "reverse", Body: reverseBody},
+	}
+	return append(All(), ext...)
+}
+
+// ExtByName looks a kernel up across the extended set.
+func ExtByName(name string) (Kernel, bool) {
+	for _, k := range Extended() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+func transformBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		src := increasing(p, n)
+		dst := make([]Elem, n)
+		for st.Next() {
+			timeIt(st, func() {
+				core.Transform(p, dst, src, func(v Elem) Elem { return 2*v + 1 })
+			})
+		}
+		if n > 0 && dst[n-1] != 2*Elem(n)+1 {
+			panic("kernels: transform result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}
+
+func transformReduceBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		a := increasing(p, n)
+		b := make([]Elem, n)
+		core.Fill(p, b, 2)
+		var dot Elem
+		for st.Next() {
+			timeIt(st, func() {
+				dot = core.TransformReduceBinary(p, a, b, 0,
+					func(x, y Elem) Elem { return x + y },
+					func(x, y Elem) Elem { return x * y })
+			})
+		}
+		if n > 0 && dot != Elem(n)*Elem(n+1) {
+			panic("kernels: transform_reduce result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}
+
+func exclusiveScanBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		src := make([]Elem, n)
+		core.Fill(p, src, 1)
+		dst := make([]Elem, n)
+		for st.Next() {
+			timeIt(st, func() {
+				core.ExclusiveScan(p, dst, src, 0, func(a, b Elem) Elem { return a + b })
+			})
+		}
+		if n > 1 && dst[n-1] != Elem(n-1) {
+			panic("kernels: exclusive_scan result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func adjacentDifferenceBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		src := increasing(p, n)
+		dst := make([]Elem, n)
+		for st.Next() {
+			timeIt(st, func() {
+				core.AdjacentDifference(p, dst, src, func(cur, prev Elem) Elem { return cur - prev })
+			})
+		}
+		if n > 1 && dst[n-1] != 1 {
+			panic("kernels: adjacent_difference result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}
+
+func countIfBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		var c int
+		for st.Next() {
+			timeIt(st, func() {
+				c = core.CountIf(p, data, func(v Elem) bool { return int64(v)%2 == 0 })
+			})
+		}
+		if c != n/2 {
+			panic("kernels: count_if result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func minMaxBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		var lo, hi int
+		for st.Next() {
+			timeIt(st, func() {
+				lo, hi = core.MinMaxElement(p, data, func(a, b Elem) bool { return a < b })
+			})
+		}
+		if n > 0 && (data[lo] != 1 || data[hi] != Elem(n)) {
+			panic("kernels: minmax_element result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func copyBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		src := increasing(p, n)
+		dst := make([]Elem, n)
+		for st.Next() {
+			timeIt(st, func() { core.Copy(p, dst, src) })
+		}
+		if n > 0 && dst[n-1] != Elem(n) {
+			panic("kernels: copy result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}
+
+func fillBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		dst := make([]Elem, n)
+		for st.Next() {
+			timeIt(st, func() { core.Fill(p, dst, 7) })
+		}
+		if n > 0 && dst[n-1] != 7 {
+			panic("kernels: fill result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func allOfBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		ok := true
+		for st.Next() {
+			timeIt(st, func() {
+				ok = core.AllOf(p, data, func(v Elem) bool { return v > 0 })
+			})
+		}
+		if !ok {
+			panic("kernels: all_of result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func mergeBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		half := n / 2
+		a := increasing(p, half)
+		b := increasing(p, n-half)
+		dst := make([]Elem, n)
+		less := func(x, y Elem) bool { return x < y }
+		for st.Next() {
+			timeIt(st, func() { core.Merge(p, dst, a, b, less) })
+		}
+		if n > 1 && !core.IsSorted(p, dst, less) {
+			panic("kernels: merge result not sorted")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 24)
+	}
+}
+
+func stableSortBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		rng := rand.New(rand.NewSource(9))
+		less := func(a, b Elem) bool { return a < b }
+		for st.Next() {
+			rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+			timeIt(st, func() { core.StableSort(p, data, less) })
+		}
+		if n > 1 && !slices.IsSorted(data) {
+			panic("kernels: stable_sort result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func partitionBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		src := increasing(p, n)
+		work := make([]Elem, n)
+		pred := func(v Elem) bool { return int64(v)%2 == 0 }
+		var k int
+		for st.Next() {
+			copy(work, src) // setup, excluded
+			timeIt(st, func() { k = core.StablePartition(p, work, pred) })
+		}
+		if k != n/2 || !core.IsPartitioned(p, work, pred) {
+			panic("kernels: partition result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}
+
+func uniqueBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		src := make([]Elem, n)
+		core.Generate(p, src, func(i int) Elem { return Elem(i / 4) })
+		work := make([]Elem, n)
+		var k int
+		for st.Next() {
+			copy(work, src) // setup, excluded
+			timeIt(st, func() { k = core.Unique(p, work) })
+		}
+		if want := (n + 3) / 4; n > 0 && k != want {
+			panic("kernels: unique result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}
+
+func reverseBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		for st.Next() {
+			timeIt(st, func() { core.Reverse(p, data) })
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 16)
+	}
+}

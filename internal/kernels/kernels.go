@@ -1,0 +1,161 @@
+// Package kernels defines the native benchmark kernels of the suite — the
+// Go equivalents of pSTL-Bench's Listings 1-3: the k_it volatile loop for
+// for_each, the random-element find, the plus-reduction, the inclusive
+// prefix sum, and the shuffled sort. Each kernel produces a harness
+// benchmark body that measures exactly the algorithm call (shuffling and
+// setup are excluded via manual timing, as WRAP_TIMING does).
+package kernels
+
+import (
+	"math/rand"
+	"time"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/core"
+	"pstlbench/internal/harness"
+)
+
+// Elem is the benchmark element type, following the paper's default of
+// 64-bit floating point operands.
+type Elem = float64
+
+// sink defeats dead-code elimination of the for_each kernel, playing the
+// role of the volatile qualifier in Listing 1.
+var sink Elem
+
+// ForEachKernel is the paper's Listing 1: run kit dependent increments and
+// store the result into the element.
+func ForEachKernel(kit int) func(*Elem) {
+	return func(v *Elem) {
+		var a Elem
+		for i := 0; i < kit; i++ {
+			a++
+		}
+		*v = a
+	}
+}
+
+// Kernel is one named benchmark kernel.
+type Kernel struct {
+	// Name is the pSTL-Bench kernel name.
+	Name string
+	// Op is the corresponding simulator operation; only meaningful when
+	// Sim is true.
+	Op backend.Op
+	// Sim marks the five studied kernels that the performance simulator
+	// models; the extended kernels run natively only.
+	Sim bool
+	// Body builds a harness benchmark body running the kernel natively
+	// over n elements with the given policy and computational intensity.
+	Body func(p core.Policy, n, kit int) func(*harness.State)
+}
+
+// All returns the five studied kernels in the paper's order.
+func All() []Kernel {
+	return []Kernel{
+		{Name: "find", Op: backend.OpFind, Sim: true, Body: findBody},
+		{Name: "for_each", Op: backend.OpForEach, Sim: true, Body: forEachBody},
+		{Name: "inclusive_scan", Op: backend.OpInclusiveScan, Sim: true, Body: scanBody},
+		{Name: "reduce", Op: backend.OpReduce, Sim: true, Body: reduceBody},
+		{Name: "sort", Op: backend.OpSort, Sim: true, Body: sortBody},
+	}
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// increasing returns [1, 2, ..., n] like pstl::generate_increment.
+func increasing(p core.Policy, n int) []Elem {
+	data := make([]Elem, n)
+	core.Generate(p, data, func(i int) Elem { return Elem(i + 1) })
+	return data
+}
+
+func timeIt(st *harness.State, f func()) {
+	start := time.Now()
+	f()
+	st.SetIterationTime(time.Since(start).Seconds())
+}
+
+func findBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		rng := rand.New(rand.NewSource(42))
+		for st.Next() {
+			target := Elem(rng.Intn(n) + 1)
+			var idx int
+			timeIt(st, func() { idx = core.Find(p, data, target) })
+			if idx < 0 {
+				panic("kernels: find missed a present element")
+			}
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func forEachBody(p core.Policy, n, kit int) func(*harness.State) {
+	if kit < 1 {
+		kit = 1
+	}
+	kernel := ForEachKernel(kit)
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		for st.Next() {
+			timeIt(st, func() { core.ForEach(p, data, kernel) })
+		}
+		sink = data[0]
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func scanBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		dst := make([]Elem, n)
+		for st.Next() {
+			timeIt(st, func() { core.InclusiveSum(p, dst, data) })
+		}
+		if n > 0 && dst[n-1] != Elem(n)*Elem(n+1)/2 {
+			panic("kernels: inclusive_scan result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func reduceBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		var r Elem
+		for st.Next() {
+			timeIt(st, func() { r = core.Sum(p, data, 0) })
+		}
+		if n > 0 && r != Elem(n)*Elem(n+1)/2 {
+			panic("kernels: reduce result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}
+
+func sortBody(p core.Policy, n, _ int) func(*harness.State) {
+	return func(st *harness.State) {
+		data := increasing(p, n)
+		rng := rand.New(rand.NewSource(7))
+		for st.Next() {
+			// The shuffle is setup, excluded from the measurement
+			// exactly as pSTL-Bench's WRAP_TIMING excludes it.
+			rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+			timeIt(st, func() { core.Sort(p, data) })
+		}
+		if n > 1 && (data[0] != 1 || data[n-1] != Elem(n)) {
+			panic("kernels: sort result wrong")
+		}
+		st.SetBytesProcessed(int64(st.Iterations()) * int64(n) * 8)
+	}
+}

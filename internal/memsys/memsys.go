@@ -1,0 +1,284 @@
+// Package memsys models the memory system of a simulated machine: NUMA
+// page placement, a cache-capacity model, and a bandwidth-contention solver
+// that splits each NUMA node's controller bandwidth among concurrent
+// streams.
+//
+// This single mechanism is what produces the paper's memory-bound results:
+// the ~7x speedup ceiling of X::find and X::inclusive_scan (the STREAM
+// all-core/one-core ratio), the NUMA knee near 16 threads in Table 6, and
+// the first-touch allocator gains of Figure 1.
+package memsys
+
+import (
+	"fmt"
+	"math"
+
+	"pstlbench/internal/machine"
+)
+
+// Level identifies the memory level that serves a benchmark's working set.
+type Level int
+
+const (
+	// LevelL2 means the working set fits in the participating cores'
+	// private L2 caches.
+	LevelL2 Level = iota
+	// LevelLLC means it fits in the participating sockets' shared last
+	// level caches.
+	LevelLLC
+	// LevelDRAM means it spills to main memory.
+	LevelDRAM
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// CacheLevel classifies a working set against the aggregate cache capacity
+// of the participating cores. Google-Benchmark-style measurement loops
+// re-run the same data, so a fitting working set stays resident.
+func CacheLevel(m *machine.Machine, workingSet int64, cores int) Level {
+	if cores < 1 {
+		cores = 1
+	}
+	if cores > m.Cores {
+		cores = m.Cores
+	}
+	if workingSet <= int64(cores)*m.L2PerCore {
+		return LevelL2
+	}
+	socketsUsed := (cores + m.Cores/m.Sockets - 1) / (m.Cores / m.Sockets)
+	if workingSet <= int64(socketsUsed)*m.LLCPerSocket {
+		return LevelLLC
+	}
+	return LevelDRAM
+}
+
+// Placement describes where an array's pages live: NodeFrac[i] is the
+// fraction of pages on NUMA node i. Fractions sum to 1.
+type Placement struct {
+	NodeFrac []float64
+}
+
+// Validate panics if the placement is malformed.
+func (p Placement) Validate() {
+	sum := 0.0
+	for _, f := range p.NodeFrac {
+		if f < 0 {
+			panic("memsys: negative page fraction")
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		panic(fmt.Sprintf("memsys: page fractions sum to %v", sum))
+	}
+}
+
+// NodeZero places every page on NUMA node 0 — the behaviour of the default
+// allocator, where the (single-threaded) setup code faults in every page.
+func NodeZero(nodes int) Placement {
+	f := make([]float64, nodes)
+	f[0] = 1
+	return Placement{NodeFrac: f}
+}
+
+// FirstTouch places pages according to the parallel first-touch allocator:
+// each participating thread faults in its own chunk, so pages distribute
+// proportionally to the cores participating per node.
+func FirstTouch(m *machine.Machine, threads int) Placement {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > m.Cores {
+		threads = m.Cores
+	}
+	f := make([]float64, m.NUMANodes)
+	for c := 0; c < threads; c++ {
+		f[m.NodeOf(c)] += 1.0 / float64(threads)
+	}
+	return Placement{NodeFrac: f}
+}
+
+// Interleaved places pages round-robin across all nodes.
+func Interleaved(nodes int) Placement {
+	f := make([]float64, nodes)
+	for i := range f {
+		f[i] = 1.0 / float64(nodes)
+	}
+	return Placement{NodeFrac: f}
+}
+
+// Stream is one core's memory traffic during a simulation interval.
+type Stream struct {
+	// Core is the executing core (determines the local node/socket).
+	Core int
+	// Demand is the unconstrained consumption rate in bytes/s (i.e. what
+	// the compute side could absorb).
+	Demand float64
+	// NodeFrac is the distribution of this stream's traffic over NUMA
+	// nodes. Ignored for cache levels above DRAM.
+	NodeFrac []float64
+}
+
+// solverIterations bounds the proportional-scaling fixpoint loop.
+const solverIterations = 6
+
+// Solve returns the achieved rate in bytes/s for every stream, given the
+// machine and the cache level serving the traffic.
+//
+// DRAM model: every stream draws from each node according to its NodeFrac;
+// remote accesses consume 1/RemoteFactor of controller service per byte.
+// Node controllers are capacity NodeBW; overloaded controllers scale their
+// streams down proportionally (a processor-sharing approximation iterated
+// to a near-fixpoint). A single core's draw is additionally capped by the
+// machine's single-core STREAM bandwidth, derated by RemoteFactor for its
+// remote fraction.
+//
+// LLC model: per-socket shared capacity LLCBWSocket with proportional
+// sharing. L2 model: private per-core capacity, no sharing.
+func Solve(m *machine.Machine, level Level, streams []Stream) []float64 {
+	rates := make([]float64, len(streams))
+	switch level {
+	case LevelL2:
+		capBS := m.L2BWPerCore * 1e9
+		for i, s := range streams {
+			rates[i] = min(s.Demand, capBS)
+		}
+		return rates
+	case LevelLLC:
+		return solveShared(streams, func(s Stream) int { return m.SocketOf(s.Core) },
+			m.Sockets, m.LLCBWSocket*1e9, m.L2BWPerCore*1e9)
+	default:
+		return solveDRAM(m, streams)
+	}
+}
+
+// solveShared handles the single-resource-per-group case (LLC per socket).
+func solveShared(streams []Stream, groupOf func(Stream) int, groups int, groupBW, coreCap float64) []float64 {
+	demand := make([]float64, groups)
+	rates := make([]float64, len(streams))
+	for i, s := range streams {
+		rates[i] = min(s.Demand, coreCap)
+		demand[groupOf(s)] += rates[i]
+	}
+	for i, s := range streams {
+		g := groupOf(s)
+		if demand[g] > groupBW {
+			rates[i] *= groupBW / demand[g]
+		}
+	}
+	return rates
+}
+
+func solveDRAM(m *machine.Machine, streams []Stream) []float64 {
+	// A single controller can deliver more than the per-node share of the
+	// all-core STREAM figure (on the Zen machines one core's 42.6 GB/s
+	// exceeds 249/8); the aggregate is separately capped at BWAllCores.
+	nodeBW := max(m.NodeBW(), m.BW1Core*1.1) * 1e9
+	totalBW := m.BWAllCores * 1e9
+	coreCap := m.BW1Core * 1e9
+	alpha := make([]float64, len(streams))
+	for i, s := range streams {
+		// Per-core cap, derated by the remote fraction of the stream.
+		local := 0.0
+		if s.NodeFrac != nil {
+			local = s.NodeFrac[m.NodeOf(s.Core)]
+		} else {
+			local = 1
+		}
+		eff := coreCap * (local + (1-local)*m.RemoteFactor)
+		d := s.Demand
+		if d <= 0 {
+			alpha[i] = 0
+			continue
+		}
+		alpha[i] = min(1, eff/d)
+	}
+	fabricBW := m.FabricBW * 1e9
+	if fabricBW <= 0 {
+		fabricBW = math.MaxFloat64
+	}
+	load := make([]float64, m.NUMANodes)
+	remoteFrac := make([]float64, len(streams))
+	for i, s := range streams {
+		if s.NodeFrac == nil {
+			continue
+		}
+		localNode := m.NodeOf(s.Core)
+		for n, f := range s.NodeFrac {
+			if n != localNode {
+				remoteFrac[i] += f
+			}
+		}
+	}
+	for iter := 0; iter < solverIterations; iter++ {
+		for n := range load {
+			load[n] = 0
+		}
+		remoteLoad := 0.0
+		totalLoad := 0.0
+		for i, s := range streams {
+			if alpha[i] <= 0 || s.NodeFrac == nil {
+				continue
+			}
+			localNode := m.NodeOf(s.Core)
+			for n, f := range s.NodeFrac {
+				if f == 0 {
+					continue
+				}
+				w := 1.0
+				if n != localNode {
+					w = 1 / m.RemoteFactor
+				}
+				load[n] += alpha[i] * s.Demand * f * w
+			}
+			remoteLoad += alpha[i] * s.Demand * remoteFrac[i]
+			totalLoad += alpha[i] * s.Demand
+		}
+		change := false
+		for i, s := range streams {
+			if alpha[i] <= 0 || s.NodeFrac == nil {
+				continue
+			}
+			scale := 1.0
+			for n, f := range s.NodeFrac {
+				if f == 0 {
+					continue
+				}
+				if load[n] > nodeBW {
+					scale = min(scale, nodeBW/load[n])
+				}
+			}
+			// A stream's remote accesses share the inter-node fabric;
+			// its progress is gated by its remote portion completing.
+			if remoteFrac[i] > 0 && remoteLoad > fabricBW {
+				scale = min(scale, fabricBW/remoteLoad)
+			}
+			if totalLoad > totalBW {
+				scale = min(scale, totalBW/totalLoad)
+			}
+			if scale < 1 {
+				alpha[i] *= scale
+				change = true
+			}
+		}
+		if !change {
+			break
+		}
+	}
+	rates := make([]float64, len(streams))
+	for i, s := range streams {
+		rates[i] = alpha[i] * s.Demand
+	}
+	return rates
+}

@@ -1,0 +1,259 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pstlbench/internal/machine"
+)
+
+func TestCacheLevelClassification(t *testing.T) {
+	m := machine.MachA() // 1 MiB L2/core, 22 MiB LLC/socket
+	cases := []struct {
+		ws    int64
+		cores int
+		want  Level
+	}{
+		{1 << 10, 1, LevelL2},
+		{1 << 20, 1, LevelL2},     // exactly one core's L2
+		{1<<20 + 1, 1, LevelLLC},  // just over
+		{32 << 20, 32, LevelL2},   // 32 MiB across 32 cores' L2
+		{40 << 20, 32, LevelLLC},  // fits 2 sockets' LLC (44 MiB)
+		{45 << 20, 32, LevelDRAM}, // exceeds both sockets' LLC
+		{1 << 33, 32, LevelDRAM},
+	}
+	for _, c := range cases {
+		if got := CacheLevel(m, c.ws, c.cores); got != c.want {
+			t.Errorf("CacheLevel(ws=%d, cores=%d) = %v, want %v", c.ws, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestCacheLevelClampsCores(t *testing.T) {
+	m := machine.MachA()
+	if got := CacheLevel(m, 1<<10, 0); got != LevelL2 {
+		t.Fatalf("cores=0: %v", got)
+	}
+	if got := CacheLevel(m, 1<<30, 1000); got != LevelDRAM {
+		t.Fatalf("cores>max: %v", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL2.String() != "L2" || LevelLLC.String() != "LLC" || LevelDRAM.String() != "DRAM" {
+		t.Fatal("level names")
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Fatal("unknown level name")
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	m := machine.MachB()
+	nz := NodeZero(m.NUMANodes)
+	nz.Validate()
+	if nz.NodeFrac[0] != 1 {
+		t.Fatal("NodeZero not on node 0")
+	}
+	ft := FirstTouch(m, 64)
+	ft.Validate()
+	for n, f := range ft.NodeFrac {
+		if f < 0.124 || f > 0.126 {
+			t.Fatalf("FirstTouch(64) node %d frac %v, want 1/8", n, f)
+		}
+	}
+	// 8 threads on Mach B cover exactly node 0.
+	ft8 := FirstTouch(m, 8)
+	ft8.Validate()
+	if ft8.NodeFrac[0] < 0.999 {
+		t.Fatalf("FirstTouch(8) = %v", ft8.NodeFrac)
+	}
+	il := Interleaved(4)
+	il.Validate()
+	if il.NodeFrac[2] != 0.25 {
+		t.Fatal("Interleaved")
+	}
+}
+
+func TestValidateRejectsBadPlacement(t *testing.T) {
+	for _, bad := range []Placement{
+		{NodeFrac: []float64{0.5, 0.2}},
+		{NodeFrac: []float64{1.5, -0.5}},
+	} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("placement %v not rejected", bad.NodeFrac)
+				}
+			}()
+			bad.Validate()
+		}()
+	}
+}
+
+func localStreams(m *machine.Machine, cores int, demand float64) []Stream {
+	pl := FirstTouch(m, cores)
+	streams := make([]Stream, cores)
+	for c := 0; c < cores; c++ {
+		tr := make([]float64, m.NUMANodes)
+		tr[m.NodeOf(c)] = 1 // perfectly local
+		_ = pl
+		streams[c] = Stream{Core: c, Demand: demand, NodeFrac: tr}
+	}
+	return streams
+}
+
+func total(rates []float64) float64 {
+	s := 0.0
+	for _, r := range rates {
+		s += r
+	}
+	return s
+}
+
+func TestSolveDRAMLocalSaturatesSTREAM(t *testing.T) {
+	// Perfectly local streams with unbounded demand must achieve the
+	// machine's all-core STREAM bandwidth (within the per-core cap).
+	for _, m := range machine.CPUs() {
+		rates := Solve(m, LevelDRAM, localStreams(m, m.Cores, 1e12))
+		got := total(rates) / 1e9
+		if got > m.BWAllCores*1.001 {
+			t.Errorf("%s: achieved %v GB/s exceeds STREAM %v", m.Name, got, m.BWAllCores)
+		}
+		if got < m.BWAllCores*0.95 {
+			t.Errorf("%s: achieved %v GB/s, want ~%v", m.Name, got, m.BWAllCores)
+		}
+	}
+}
+
+func TestSolveSingleCoreCappedAtBW1(t *testing.T) {
+	for _, m := range machine.CPUs() {
+		rates := Solve(m, LevelDRAM, localStreams(m, 1, 1e12))
+		got := rates[0] / 1e9
+		if got > m.BW1Core*1.001 || got < m.BW1Core*0.99 {
+			t.Errorf("%s: single core %v GB/s, want %v", m.Name, got, m.BW1Core)
+		}
+	}
+}
+
+func TestSolveNodeZeroBottleneck(t *testing.T) {
+	// All pages on node 0: total throughput cannot exceed one node's
+	// controller plus what the fabric carries, and must be well below the
+	// all-core bandwidth. This is the default-allocator regime of Fig. 1.
+	m := machine.MachA()
+	pl := NodeZero(m.NUMANodes)
+	streams := make([]Stream, m.Cores)
+	for c := range streams {
+		streams[c] = Stream{Core: c, Demand: 1e12, NodeFrac: pl.NodeFrac}
+	}
+	got := total(Solve(m, LevelDRAM, streams)) / 1e9
+	if got > m.NodeBW()*1.05 {
+		t.Errorf("node-0 placement achieved %v GB/s, want <= node BW %v", got, m.NodeBW())
+	}
+	if got < m.NodeBW()*0.5 {
+		t.Errorf("node-0 placement achieved %v GB/s, implausibly low", got)
+	}
+}
+
+func TestSolveFabricCapsRemoteTraffic(t *testing.T) {
+	// Streams with fully remote traffic are limited by the fabric.
+	m := machine.MachB()
+	streams := make([]Stream, m.Cores)
+	for c := range streams {
+		tr := make([]float64, m.NUMANodes)
+		tr[(m.NodeOf(c)+1)%m.NUMANodes] = 1 // all remote
+		streams[c] = Stream{Core: c, Demand: 1e12, NodeFrac: tr}
+	}
+	got := total(Solve(m, LevelDRAM, streams)) / 1e9
+	if got > m.FabricBW*1.05 {
+		t.Errorf("all-remote traffic %v GB/s exceeds fabric %v", got, m.FabricBW)
+	}
+}
+
+func TestSolveL2PrivatePerCore(t *testing.T) {
+	m := machine.MachA()
+	streams := []Stream{
+		{Core: 0, Demand: 1e12},
+		{Core: 1, Demand: 5e9},
+	}
+	rates := Solve(m, LevelL2, streams)
+	if rates[0] != m.L2BWPerCore*1e9 {
+		t.Errorf("L2 cap: %v", rates[0])
+	}
+	if rates[1] != 5e9 {
+		t.Errorf("under-demand stream altered: %v", rates[1])
+	}
+}
+
+func TestSolveLLCSharedPerSocket(t *testing.T) {
+	m := machine.MachA() // 16 cores per socket
+	var streams []Stream
+	for c := 0; c < 16; c++ { // all on socket 0
+		streams = append(streams, Stream{Core: c, Demand: 60e9})
+	}
+	rates := Solve(m, LevelLLC, streams)
+	got := total(rates) / 1e9
+	if got > m.LLCBWSocket*1.001 {
+		t.Errorf("socket LLC: %v GB/s exceeds %v", got, m.LLCBWSocket)
+	}
+	// Streams on the other socket are unaffected.
+	streams = append(streams, Stream{Core: 20, Demand: 10e9})
+	rates = Solve(m, LevelLLC, streams)
+	if rates[16] != 10e9 {
+		t.Errorf("other-socket stream throttled: %v", rates[16])
+	}
+}
+
+// Property: solver rates never exceed demand and are non-negative, and
+// total DRAM throughput never exceeds the machine's STREAM bandwidth.
+func TestPropSolverBounds(t *testing.T) {
+	m := machine.MachC()
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nStreams := 1 + r.Intn(64)
+		streams := make([]Stream, nStreams)
+		for i := range streams {
+			tr := make([]float64, m.NUMANodes)
+			rem := 1.0
+			for n := 0; n < m.NUMANodes-1; n++ {
+				f := r.Float64() * rem
+				tr[n] = f
+				rem -= f
+			}
+			tr[m.NUMANodes-1] = rem
+			streams[i] = Stream{
+				Core:     r.Intn(m.Cores),
+				Demand:   r.Float64() * 1e11,
+				NodeFrac: tr,
+			}
+		}
+		rates := Solve(m, LevelDRAM, streams)
+		tot := 0.0
+		for i, rate := range rates {
+			if rate < 0 || rate > streams[i].Demand*1.0001 {
+				return false
+			}
+			tot += rate
+		}
+		return tot <= m.BWAllCores*1e9*1.001
+	}
+	for i := 0; i < 100; i++ {
+		if !f(rng.Int63()) {
+			t.Fatal("solver bounds violated")
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveZeroDemand(t *testing.T) {
+	m := machine.MachA()
+	rates := Solve(m, LevelDRAM, []Stream{{Core: 0, Demand: 0, NodeFrac: NodeZero(2).NodeFrac}})
+	if rates[0] != 0 {
+		t.Fatalf("zero demand rate = %v", rates[0])
+	}
+}

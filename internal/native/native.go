@@ -1,0 +1,403 @@
+// Package native provides real goroutine-backed implementations of
+// exec.Pool, one per scheduling strategy studied in the paper:
+//
+//   - ForkJoin: OpenMP-style static fork-join (the GNU and NVC-OMP
+//     backends). The iteration space is cut once and every worker executes
+//     a fixed, contiguous set of chunks.
+//   - Stealing: TBB-style work stealing. Every worker owns a band of
+//     chunks; idle workers steal half of a victim's remaining band.
+//   - CentralQueue: HPX-style task futures over a shared queue. Every
+//     chunk is an individual task popped from one central queue, which
+//     maximizes load balance but pays a per-task scheduling cost.
+//
+// All pools share one substrate: persistent worker goroutines draining a
+// LIFO task queue. Callers of ForChunks and Do help execute pending tasks
+// while they wait, which makes nested parallelism (sort's merge recursion,
+// scan's pass structure) deadlock-free on a fixed-size pool.
+package native
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pstlbench/internal/exec"
+)
+
+// Strategy selects how a Pool maps loop chunks onto workers.
+type Strategy int
+
+const (
+	// StrategyForkJoin is the OpenMP-style static schedule.
+	StrategyForkJoin Strategy = iota
+	// StrategyStealing is the TBB-style work-stealing schedule.
+	StrategyStealing
+	// StrategyCentralQueue is the HPX-style shared-queue schedule.
+	StrategyCentralQueue
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyForkJoin:
+		return "forkjoin"
+	case StrategyStealing:
+		return "stealing"
+	case StrategyCentralQueue:
+		return "centralqueue"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// task is one schedulable unit. Completion is reported to its group.
+type task struct {
+	fn func(worker int)
+	g  *group
+}
+
+// group tracks the completion of a set of sibling tasks and captures the
+// first panic raised by any of them.
+type group struct {
+	pending  atomic.Int64
+	done     chan struct{}
+	panicOne sync.Once
+	panicVal any
+}
+
+func newGroup(n int) *group {
+	g := &group{done: make(chan struct{})}
+	g.pending.Store(int64(n))
+	return g
+}
+
+func (g *group) finish(recovered any) {
+	if recovered != nil {
+		g.panicOne.Do(func() { g.panicVal = recovered })
+	}
+	if g.pending.Add(-1) == 0 {
+		close(g.done)
+	}
+}
+
+// rethrow re-raises the first captured panic, if any. It must only be
+// called after the group's done channel is closed.
+func (g *group) rethrow() {
+	if g.panicVal != nil {
+		panic(g.panicVal)
+	}
+}
+
+// Pool is a fixed-size goroutine pool implementing exec.Pool with a
+// configurable scheduling strategy.
+type Pool struct {
+	strategy Strategy
+	workers  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task // LIFO
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+var _ exec.Pool = (*Pool)(nil)
+
+// New creates a pool with the given number of persistent workers and
+// scheduling strategy. workers < 1 is treated as 1. Close must be called to
+// release the worker goroutines.
+func New(workers int, strategy Strategy) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{strategy: strategy, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.workerLoop(w)
+	}
+	return p
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// Strategy returns the pool's scheduling strategy.
+func (p *Pool) Strategy() Strategy { return p.strategy }
+
+// Close shuts down the worker goroutines. Pending tasks are drained before
+// the workers exit. The pool must not be used after Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) workerLoop(w int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		t := p.popLocked()
+		p.mu.Unlock()
+		runTask(t, w)
+	}
+}
+
+func (p *Pool) popLocked() task {
+	last := len(p.queue) - 1
+	t := p.queue[last]
+	p.queue[last] = task{}
+	p.queue = p.queue[:last]
+	return t
+}
+
+func (p *Pool) tryPop() (task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return task{}, false
+	}
+	return p.popLocked(), true
+}
+
+func (p *Pool) push(ts ...task) {
+	p.mu.Lock()
+	p.queue = append(p.queue, ts...)
+	if len(ts) > 1 {
+		p.cond.Broadcast()
+	} else {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// runTask executes t and reports completion (and any panic) to its group.
+func runTask(t task, worker int) {
+	defer func() { t.g.finish(recover()) }()
+	t.fn(worker)
+}
+
+// help blocks until the group completes, executing pending tasks from the
+// pool queue in the meantime. The caller participates with the pseudo-worker
+// index workers (i.e. one past the last pool worker). It does not rethrow
+// captured panics; use wait for that.
+func (p *Pool) help(g *group) {
+	callerID := p.workers
+	for {
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		if t, ok := p.tryPop(); ok {
+			runTask(t, callerID)
+			continue
+		}
+		<-g.done
+		return
+	}
+}
+
+// wait blocks until the group completes (helping with queued tasks) and
+// re-raises the first panic captured by any task in the group.
+func (p *Pool) wait(g *group) {
+	p.help(g)
+	g.rethrow()
+}
+
+// Do runs the thunks, possibly concurrently, and returns after all have
+// completed. The calling goroutine executes at least one thunk itself and
+// helps drain the queue while waiting, so nested Do calls cannot deadlock.
+func (p *Pool) Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	g := newGroup(len(fns) - 1)
+	ts := make([]task, 0, len(fns)-1)
+	for _, fn := range fns[1:] {
+		fn := fn
+		ts = append(ts, task{fn: func(int) { fn() }, g: g})
+	}
+	p.push(ts...)
+	// Work-first: run the first thunk inline, then help with the rest.
+	// A panic from the inline thunk is held until the siblings finish, so
+	// no sibling is left running against unwound caller state; the inline
+	// panic takes precedence over sibling panics.
+	var inlinePanic any
+	func() {
+		defer func() { inlinePanic = recover() }()
+		fns[0]()
+	}()
+	p.help(g)
+	if inlinePanic != nil {
+		panic(inlinePanic)
+	}
+	g.rethrow()
+}
+
+// ForChunks partitions [0, n) according to g and schedules the chunks per
+// the pool strategy. It returns after every chunk has completed. The body's
+// worker index is in [0, Workers()]: the value Workers() identifies the
+// calling goroutine when it helps execute chunks.
+func (p *Pool) ForChunks(n int, g exec.Grain, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := g.Partition(n, p.workers)
+	if len(chunks) == 1 {
+		body(p.workers, chunks[0].Lo, chunks[0].Hi)
+		return
+	}
+	switch p.strategy {
+	case StrategyForkJoin:
+		p.forChunksStatic(chunks, body)
+	case StrategyStealing:
+		p.forChunksStealing(chunks, body)
+	case StrategyCentralQueue:
+		p.forChunksQueue(chunks, body)
+	default:
+		p.forChunksStatic(chunks, body)
+	}
+}
+
+// forChunksStatic assigns chunk i to worker i mod P, like OpenMP
+// schedule(static).
+func (p *Pool) forChunksStatic(chunks []exec.Range, body func(worker, lo, hi int)) {
+	parts := p.workers
+	if parts > len(chunks) {
+		parts = len(chunks)
+	}
+	grp := newGroup(parts)
+	for part := 0; part < parts; part++ {
+		part := part
+		p.push(task{g: grp, fn: func(worker int) {
+			for i := part; i < len(chunks); i += parts {
+				body(worker, chunks[i].Lo, chunks[i].Hi)
+			}
+		}})
+	}
+	p.wait(grp)
+}
+
+// band is a shared range of chunk indices owned by one worker. The owner
+// takes chunks from the front; thieves split off the back half.
+type band struct {
+	mu     sync.Mutex
+	lo, hi int // chunk indices [lo, hi)
+}
+
+// take removes the front chunk index, or returns ok=false if empty.
+func (b *band) take() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.lo >= b.hi {
+		return 0, false
+	}
+	i := b.lo
+	b.lo++
+	return i, true
+}
+
+// stealHalf removes the back half of the band, returning the stolen chunk
+// index range.
+func (b *band) stealHalf() (lo, hi int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.hi - b.lo
+	if n < 2 {
+		// Leave single remaining chunks to their owner; stealing them
+		// buys nothing and doubles the synchronization.
+		return 0, 0, false
+	}
+	take := n / 2
+	lo, hi = b.hi-take, b.hi
+	b.hi = lo
+	return lo, hi, true
+}
+
+// forChunksStealing gives each worker-part a contiguous band of chunk
+// indices; exhausted parts steal half of the fullest sibling band.
+func (p *Pool) forChunksStealing(chunks []exec.Range, body func(worker, lo, hi int)) {
+	parts := p.workers
+	if parts > len(chunks) {
+		parts = len(chunks)
+	}
+	bands := make([]*band, parts)
+	per := len(chunks) / parts
+	rem := len(chunks) % parts
+	lo := 0
+	for i := range bands {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		bands[i] = &band{lo: lo, hi: hi}
+		lo = hi
+	}
+	grp := newGroup(parts)
+	for part := 0; part < parts; part++ {
+		part := part
+		p.push(task{g: grp, fn: func(worker int) {
+			p.runBand(part, bands, chunks, worker, body)
+		}})
+	}
+	p.wait(grp)
+}
+
+// runBand drains the part's own band, then steals from siblings until no
+// band has stealable work left.
+func (p *Pool) runBand(part int, bands []*band, chunks []exec.Range, worker int, body func(worker, lo, hi int)) {
+	own := bands[part]
+	for {
+		if i, ok := own.take(); ok {
+			body(worker, chunks[i].Lo, chunks[i].Hi)
+			continue
+		}
+		// Steal the biggest half available among the victims.
+		stolen := false
+		for off := 1; off < len(bands); off++ {
+			victim := bands[(part+off)%len(bands)]
+			if lo, hi, ok := victim.stealHalf(); ok {
+				own.mu.Lock()
+				own.lo, own.hi = lo, hi
+				own.mu.Unlock()
+				stolen = true
+				break
+			}
+		}
+		if !stolen {
+			return
+		}
+	}
+}
+
+// forChunksQueue pushes every chunk as an individual task onto the central
+// queue, in the style of HPX's per-iteration-range futures.
+func (p *Pool) forChunksQueue(chunks []exec.Range, body func(worker, lo, hi int)) {
+	grp := newGroup(len(chunks))
+	ts := make([]task, 0, len(chunks))
+	// Push in reverse so the LIFO queue pops chunks in ascending order,
+	// preserving the front-to-back sweep that the other strategies have.
+	for i := len(chunks) - 1; i >= 0; i-- {
+		c := chunks[i]
+		ts = append(ts, task{g: grp, fn: func(worker int) {
+			body(worker, c.Lo, c.Hi)
+		}})
+	}
+	p.push(ts...)
+	p.wait(grp)
+}

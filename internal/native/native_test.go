@@ -1,0 +1,317 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pstlbench/internal/exec"
+)
+
+var allStrategies = []Strategy{StrategyForkJoin, StrategyStealing, StrategyCentralQueue}
+
+func withPools(t *testing.T, workers int, fn func(t *testing.T, p *Pool)) {
+	t.Helper()
+	for _, s := range allStrategies {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			p := New(workers, s)
+			defer p.Close()
+			fn(t, p)
+		})
+	}
+}
+
+func TestForChunksCoversIterationSpace(t *testing.T) {
+	withPools(t, 4, func(t *testing.T, p *Pool) {
+		for _, n := range []int{0, 1, 3, 64, 1000, 100000} {
+			for _, g := range []exec.Grain{exec.Static, exec.Auto, exec.Fine} {
+				hits := make([]int32, n)
+				p.ForChunks(n, g, func(worker, lo, hi int) {
+					if worker < 0 || worker > p.Workers() {
+						t.Errorf("worker index %d out of range", worker)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d grain=%+v: index %d visited %d times", n, g, i, h)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestForChunksParallelSum(t *testing.T) {
+	withPools(t, 8, func(t *testing.T, p *Pool) {
+		const n = 1 << 18
+		var sum atomic.Int64
+		p.ForChunks(n, exec.Auto, func(worker, lo, hi int) {
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		want := int64(n) * (n - 1) / 2
+		if got := sum.Load(); got != want {
+			t.Fatalf("sum = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestDoRunsAllThunks(t *testing.T) {
+	withPools(t, 4, func(t *testing.T, p *Pool) {
+		var ran [10]atomic.Int32
+		fns := make([]func(), len(ran))
+		for i := range fns {
+			i := i
+			fns[i] = func() { ran[i].Add(1) }
+		}
+		p.Do(fns...)
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Fatalf("thunk %d ran %d times", i, ran[i].Load())
+			}
+		}
+		// Degenerate arities.
+		p.Do()
+		called := false
+		p.Do(func() { called = true })
+		if !called {
+			t.Fatal("single-thunk Do did not run")
+		}
+	})
+}
+
+func TestNestedParallelismNoDeadlock(t *testing.T) {
+	// Recursive divide-and-conquer through Do on a pool smaller than the
+	// task tree must not deadlock (callers help while waiting).
+	withPools(t, 2, func(t *testing.T, p *Pool) {
+		var count atomic.Int64
+		var rec func(depth int)
+		rec = func(depth int) {
+			if depth == 0 {
+				count.Add(1)
+				return
+			}
+			p.Do(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+		}
+		rec(8)
+		if got := count.Load(); got != 256 {
+			t.Fatalf("leaf count = %d, want 256", got)
+		}
+	})
+}
+
+func TestNestedForChunks(t *testing.T) {
+	withPools(t, 3, func(t *testing.T, p *Pool) {
+		const rows, cols = 40, 100
+		hits := make([]int32, rows*cols)
+		p.ForChunks(rows, exec.Auto, func(_, rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				r := r
+				p.ForChunks(cols, exec.Static, func(_, clo, chi int) {
+					for c := clo; c < chi; c++ {
+						atomic.AddInt32(&hits[r*cols+c], 1)
+					}
+				})
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("cell %d visited %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestPanicPropagation(t *testing.T) {
+	withPools(t, 4, func(t *testing.T, p *Pool) {
+		mustPanic := func(name string, fn func()) {
+			t.Helper()
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("%s: panic did not propagate", name)
+				} else if r != "boom" {
+					t.Fatalf("%s: got panic %v, want boom", name, r)
+				}
+			}()
+			fn()
+		}
+		mustPanic("ForChunks", func() {
+			p.ForChunks(1000, exec.Fine, func(_, lo, hi int) {
+				if lo <= 500 && 500 < hi {
+					panic("boom")
+				}
+			})
+		})
+		mustPanic("Do", func() {
+			p.Do(func() {}, func() { panic("boom") }, func() {})
+		})
+		// The pool must remain usable after a panic.
+		var n atomic.Int32
+		p.ForChunks(100, exec.Static, func(_, lo, hi int) { n.Add(int32(hi - lo)) })
+		if n.Load() != 100 {
+			t.Fatalf("pool broken after panic: %d", n.Load())
+		}
+	})
+}
+
+func TestPanicInFirstInlineThunk(t *testing.T) {
+	withPools(t, 2, func(t *testing.T, p *Pool) {
+		var other atomic.Bool
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic in inline thunk did not propagate")
+			}
+			if !other.Load() {
+				t.Error("sibling thunk did not complete before rethrow")
+			}
+		}()
+		p.Do(func() { panic("boom") }, func() { other.Store(true) })
+	})
+}
+
+func TestWorkerCountClamped(t *testing.T) {
+	p := New(0, StrategyForkJoin)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", p.Workers())
+	}
+	ran := false
+	p.ForChunks(10, exec.Static, func(_, lo, hi int) { ran = true })
+	if !ran {
+		t.Fatal("loop body never ran")
+	}
+}
+
+func TestStealingBalancesSkewedWork(t *testing.T) {
+	// With a fine grain and wildly skewed chunk costs, stealing must still
+	// execute everything exactly once.
+	p := New(4, StrategyStealing)
+	defer p.Close()
+	const n = 4096
+	hits := make([]int32, n)
+	p.ForChunks(n, exec.Grain{ChunksPerWorker: 16}, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i%64 == 0 {
+				// Simulate a heavy element.
+				s := 0
+				for k := 0; k < 10000; k++ {
+					s += k
+				}
+				_ = s
+			}
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestBandStealHalf(t *testing.T) {
+	b := &band{lo: 0, hi: 10}
+	lo, hi, ok := b.stealHalf()
+	if !ok || hi-lo != 5 || b.hi != 5 {
+		t.Fatalf("stealHalf: lo=%d hi=%d ok=%v band.hi=%d", lo, hi, ok, b.hi)
+	}
+	// A band with one chunk is not stealable.
+	b2 := &band{lo: 3, hi: 4}
+	if _, _, ok := b2.stealHalf(); ok {
+		t.Fatal("stole from single-chunk band")
+	}
+	if i, ok := b2.take(); !ok || i != 3 {
+		t.Fatalf("take: %d %v", i, ok)
+	}
+	if _, ok := b2.take(); ok {
+		t.Fatal("take from empty band succeeded")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	cases := map[Strategy]string{
+		StrategyForkJoin:     "forkjoin",
+		StrategyStealing:     "stealing",
+		StrategyCentralQueue: "centralqueue",
+		Strategy(99):         "Strategy(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestCloseDrainsAndStops(t *testing.T) {
+	p := New(3, StrategyCentralQueue)
+	var n atomic.Int32
+	p.ForChunks(1000, exec.Fine, func(_, lo, hi int) { n.Add(int32(hi - lo)) })
+	p.Close()
+	if n.Load() != 1000 {
+		t.Fatalf("work lost across Close: %d", n.Load())
+	}
+}
+
+func TestConcurrentIndependentLoops(t *testing.T) {
+	// Multiple goroutines may drive independent loops through one pool
+	// concurrently; each loop must still cover its space exactly once.
+	withPools(t, 4, func(t *testing.T, p *Pool) {
+		const loops = 8
+		const n = 20000
+		var wg sync.WaitGroup
+		errs := make(chan string, loops)
+		for l := 0; l < loops; l++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hits := make([]int32, n)
+				p.ForChunks(n, exec.Auto, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						errs <- fmt.Sprintf("index %d visited %d times", i, h)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	})
+}
+
+func TestConcurrentDoGroups(t *testing.T) {
+	withPools(t, 3, func(t *testing.T, p *Pool) {
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.Do(
+					func() { total.Add(1) },
+					func() { total.Add(10) },
+					func() { total.Add(100) },
+				)
+			}()
+		}
+		wg.Wait()
+		if got := total.Load(); got != 16*111 {
+			t.Fatalf("total = %d, want %d", got, 16*111)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one busy interval of a Gantt row.
+type Span struct {
+	Start, End float64
+	// Mark distinguishes span classes ('#' work, 'x' truncated, ...).
+	// 0 draws '#'.
+	Mark byte
+}
+
+// Gantt renders per-core schedules as an ASCII timeline — one row per
+// core, time left to right.
+type Gantt struct {
+	Title string
+	// Rows maps row label -> busy spans.
+	Rows  []GanttRow
+	Width int // timeline columns (default 64)
+}
+
+// GanttRow is one labelled timeline.
+type GanttRow struct {
+	Label string
+	Spans []Span
+}
+
+// String renders the chart.
+func (g *Gantt) String() string {
+	w := g.Width
+	if w <= 0 {
+		w = 64
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		b.WriteString(g.Title + "\n")
+	}
+	tmax := 0.0
+	labelW := 0
+	for _, r := range g.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		for _, s := range r.Spans {
+			tmax = math.Max(tmax, s.End)
+		}
+	}
+	if tmax <= 0 {
+		b.WriteString("(no spans)\n")
+		return b.String()
+	}
+	for _, r := range g.Rows {
+		line := []byte(strings.Repeat(".", w))
+		spans := append([]Span(nil), r.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
+			lo := int(s.Start / tmax * float64(w-1))
+			hi := int(s.End / tmax * float64(w-1))
+			mark := s.Mark
+			if mark == 0 {
+				mark = '#'
+			}
+			for c := lo; c <= hi && c < w; c++ {
+				line[c] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, string(line))
+	}
+	fmt.Fprintf(&b, "%-*s  0%s%s\n", labelW, "", strings.Repeat(" ", w-len(fmtShort(tmax))-1), fmtShort(tmax))
+	return b.String()
+}

@@ -1,0 +1,22 @@
+package simexec
+
+import (
+	"pstlbench/internal/counters"
+	"pstlbench/internal/gpusim"
+	"pstlbench/internal/memsys"
+)
+
+// runGPU dispatches an offload-backend invocation to the GPU model.
+func runGPU(cfg Config) Result {
+	br := gpusim.Run(cfg.Machine.GPU, cfg.Workload, gpusim.Options{
+		TransferBack: cfg.TransferBack,
+		DataResident: cfg.DataResident,
+	})
+	total := br.Total()
+	return Result{
+		Seconds:  total,
+		Counters: counters.Set{Seconds: total},
+		Level:    memsys.LevelDRAM,
+		Parallel: true,
+	}
+}

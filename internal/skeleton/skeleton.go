@@ -1,0 +1,335 @@
+// Package skeleton builds per-algorithm cost skeletons: the phase and task
+// structure the discrete-event simulator executes. A skeleton mirrors the
+// decomposition of the real implementation in internal/core — the same
+// grain policy produces the chunk list, scans are two passes over the same
+// chunks, sorts are leaf sorts plus merge rounds — so the schedule being
+// timed is the schedule the library actually runs.
+//
+// Intrinsic per-element costs are calibrated against the paper's
+// measurements (Table 3 and 4); see package backend for the per-runtime
+// overhead split.
+package skeleton
+
+import (
+	"fmt"
+	"math"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/exec"
+	"pstlbench/internal/machine"
+)
+
+// Intrinsic kernel costs per element (64-bit elements), before backend
+// overhead and SIMD. Calibrated so that intrinsic + backend overhead
+// reproduces the per-element instruction counts of Tables 3 and 4.
+const (
+	// ForEach (Listing 1): the volatile loop counter forces a
+	// load/inc/store/cmp/branch sequence per k_it iteration (~8 instr)
+	// plus ~6 instructions of loop setup and the final store.
+	forEachBaseInstr  = 6.0
+	forEachInstrPerIt = 8.0
+	// Write + write-allocate read of the output element.
+	forEachBytes = 16.0
+
+	// Find: the hot compare loop sustains several comparisons per cycle
+	// on an out-of-order core, so a sequential std::find runs at memory
+	// speed; 8 bytes read per element.
+	findInstr = 1.2
+	findBytes = 8.0
+
+	// Reduce: load + add per element (Table 4: GCC-TBB retires
+	// 1.75 instr/elem of which 0.25 is TBB overhead).
+	reduceInstr = 1.5
+	reduceBytes = 8.0
+
+	// Scan passes: the reduce-like first pass and the rescan second pass
+	// (load, add, store).
+	scanPass1Instr = 1.5
+	scanPass1Bytes = 8.0
+	scanPass2Instr = 3.0
+	scanPass2Bytes = 24.0 // read 8 + write 8 + write-allocate 8
+
+	// Extension ops (beyond the paper's five): transform and copy stream
+	// two arrays; count and minmax are read-only reductions.
+	transformInstr = 3.0
+	transformBytes = 24.0 // read 8 + write 8 + write-allocate 8
+	copyInstr      = 0.5
+	copyBytes      = 24.0
+	countInstr     = 2.0
+	countBytes     = 8.0
+	minmaxInstr    = 3.0
+	minmaxBytes    = 8.0
+
+	// Sort: comparison-sort cost per element per log2(n) level. The value
+	// reflects the low effective IPC of branchy comparison sorting, not
+	// just the instruction count.
+	sortCmpInstr    = 4.5
+	sortMergeInstr  = 8.0
+	sortMergeBytes  = 48.0 // read both runs + write merge buffer + copy back
+	multiwayFactor  = 3.0  // GNU multiway merge: instr per elem per log2(p)
+	seqSortOverhead = 1.15 // introsort constant vs. plain comparisons
+)
+
+// Task is one schedulable unit of a phase.
+type Task struct {
+	// Elems is the number of elements the task processes.
+	Elems float64
+	// Span is the element index range the task covers, used to locate its
+	// pages for the NUMA traffic model. For tasks that touch the whole
+	// array (merge rounds), Span covers the merged region.
+	Span exec.Range
+	// InstrPerElem is the scalar instruction count per element.
+	InstrPerElem float64
+	// FlopsPerElem is the double-precision op count per element.
+	FlopsPerElem float64
+	// BytesPerElem is the memory traffic per element.
+	BytesPerElem float64
+	// Vectorizable marks the intrinsic part of the work as amenable to
+	// the backend's SIMD lanes for this op.
+	Vectorizable bool
+}
+
+// Phase is a set of tasks separated from the next phase by a barrier, plus
+// an optional sequential section (e.g. the chunk-offset pass of a scan).
+type Phase struct {
+	Tasks []Task
+	// SeqInstr is executed by one core after the tasks complete.
+	SeqInstr float64
+	// SeqBytes is the memory traffic of the sequential section.
+	SeqBytes float64
+	// EarlyExit, if >= 0, is the index of the task whose completion ends
+	// the phase (parallel find: the task whose chunk contains the hit).
+	EarlyExit int
+}
+
+// Workload describes one benchmark invocation to simulate.
+type Workload struct {
+	Op backend.Op
+	// N is the element count.
+	N int64
+	// ElemBytes is the element size (8 for double, 4 for float).
+	ElemBytes int
+	// Kit is the for_each computational intensity (iterations per
+	// element); ignored for other ops.
+	Kit int
+	// HitFrac is the position of the found element as a fraction of N
+	// (find only). The paper searches a random element: expectation 0.5.
+	HitFrac float64
+}
+
+// Validate panics on malformed workloads.
+func (w Workload) Validate() {
+	if w.N < 0 {
+		panic("skeleton: negative N")
+	}
+	if w.ElemBytes != 4 && w.ElemBytes != 8 {
+		panic(fmt.Sprintf("skeleton: unsupported element size %d", w.ElemBytes))
+	}
+	if w.Op == backend.OpForEach && w.Kit < 1 {
+		panic("skeleton: for_each requires Kit >= 1")
+	}
+	if w.Op == backend.OpFind && (w.HitFrac < 0 || w.HitFrac > 1) {
+		panic("skeleton: HitFrac out of [0,1]")
+	}
+}
+
+// scaleBytes adjusts byte costs for 32-bit elements.
+func (w Workload) scaleBytes(b float64) float64 {
+	return b * float64(w.ElemBytes) / 8
+}
+
+// Build returns the phase list for executing w with backend b on the given
+// thread count of machine m, and whether the execution is parallel. A
+// sequential execution (seq backend, unsupported op, or below the backend's
+// sequential threshold) is a single phase with a single task. The machine
+// is needed because a sort's DRAM traffic depends on how its partitions
+// relate to the cache sizes.
+func Build(w Workload, b *backend.Backend, threads int, m *machine.Machine) (phases []Phase, parallel bool) {
+	w.Validate()
+	if w.N == 0 {
+		return nil, false
+	}
+	tr := b.Traits(w.Op)
+	parallel = !b.IsSequential() && tr.ParallelImpl && threads > 1 && w.N >= int64(tr.SeqThreshold)
+	if !parallel {
+		return buildSequential(w, m), false
+	}
+	chunks := b.Grain.Partition(int(w.N), threads)
+	switch w.Op {
+	case backend.OpForEach:
+		return []Phase{chunkPhase(w, chunks, forEachInstr(w.Kit), float64(w.Kit), w.scaleBytes(forEachBytes), true)}, true
+	case backend.OpFind:
+		return buildParallelFind(w, chunks, tr.FindCancelAtChunk), true
+	case backend.OpReduce:
+		ph := chunkPhase(w, chunks, reduceInstr, 1, w.scaleBytes(reduceBytes), true)
+		// Combining the per-chunk partials is a short sequential tail.
+		ph.SeqInstr = 20 * float64(len(chunks))
+		return []Phase{ph}, true
+	case backend.OpInclusiveScan:
+		p1 := chunkPhase(w, chunks, scanPass1Instr, 1, w.scaleBytes(scanPass1Bytes), true)
+		p1.SeqInstr = 20 * float64(len(chunks)) // exclusive prefix of chunk sums
+		p2 := chunkPhase(w, chunks, scanPass2Instr, 1, w.scaleBytes(scanPass2Bytes), true)
+		return []Phase{p1, p2}, true
+	case backend.OpSort:
+		return buildParallelSort(w, b, threads, m), true
+	case backend.OpTransform:
+		return []Phase{chunkPhase(w, chunks, transformInstr, 1, w.scaleBytes(transformBytes), true)}, true
+	case backend.OpCopy:
+		return []Phase{chunkPhase(w, chunks, copyInstr, 0, w.scaleBytes(copyBytes), true)}, true
+	case backend.OpCount:
+		ph := chunkPhase(w, chunks, countInstr, 0, w.scaleBytes(countBytes), true)
+		ph.SeqInstr = 5 * float64(len(chunks))
+		return []Phase{ph}, true
+	case backend.OpMinMax:
+		ph := chunkPhase(w, chunks, minmaxInstr, 0, w.scaleBytes(minmaxBytes), true)
+		ph.SeqInstr = 10 * float64(len(chunks))
+		return []Phase{ph}, true
+	default:
+		panic(fmt.Sprintf("skeleton: unknown op %v", w.Op))
+	}
+}
+
+func forEachInstr(kit int) float64 {
+	return forEachBaseInstr + forEachInstrPerIt*float64(kit)
+}
+
+// sortPassBytes returns the per-element DRAM traffic of comparison-sorting
+// a region of regionBytes with cacheBytes of cache available: every
+// partition/merge level whose working set exceeds the cache streams the
+// region once (16 bytes: read + write).
+func sortPassBytes(regionBytes, cacheBytes float64) float64 {
+	if cacheBytes <= 0 {
+		cacheBytes = 1
+	}
+	passes := math.Log2(regionBytes / cacheBytes)
+	if passes < 2 {
+		passes = 2
+	}
+	if passes > 12 {
+		passes = 12
+	}
+	return 16 * passes
+}
+
+// buildSequential models the single-threaded execution of w.
+func buildSequential(w Workload, m *machine.Machine) []Phase {
+	n := float64(w.N)
+	one := func(instr, flops, bytes float64, vec bool) []Phase {
+		return []Phase{{
+			Tasks: []Task{{
+				Elems: n, Span: exec.Range{Lo: 0, Hi: int(w.N)},
+				InstrPerElem: instr, FlopsPerElem: flops,
+				BytesPerElem: bytes, Vectorizable: vec,
+			}},
+			EarlyExit: -1,
+		}}
+	}
+	switch w.Op {
+	case backend.OpForEach:
+		return one(forEachInstr(w.Kit), float64(w.Kit), w.scaleBytes(forEachBytes), true)
+	case backend.OpFind:
+		// A sequential find scans until the hit.
+		scanned := n * w.HitFrac
+		ph := one(findInstr, 0, w.scaleBytes(findBytes), false)
+		ph[0].Tasks[0].Elems = math.Max(1, scanned)
+		ph[0].Tasks[0].Span = exec.Range{Lo: 0, Hi: int(math.Max(1, scanned))}
+		return ph
+	case backend.OpReduce:
+		return one(reduceInstr, 1, w.scaleBytes(reduceBytes), true)
+	case backend.OpInclusiveScan:
+		// One pass: read, add, store.
+		return one(scanPass2Instr, 1, w.scaleBytes(scanPass2Bytes), true)
+	case backend.OpTransform:
+		return one(transformInstr, 1, w.scaleBytes(transformBytes), true)
+	case backend.OpCopy:
+		return one(copyInstr, 0, w.scaleBytes(copyBytes), true)
+	case backend.OpCount:
+		return one(countInstr, 0, w.scaleBytes(countBytes), true)
+	case backend.OpMinMax:
+		return one(minmaxInstr, 0, w.scaleBytes(minmaxBytes), true)
+	case backend.OpSort:
+		// Introsort: ~log2(n) comparison levels; every partition level
+		// whose working set exceeds the LLC streams the array from DRAM.
+		levels := math.Max(1, math.Log2(n))
+		bytes := sortPassBytes(n*float64(w.ElemBytes), float64(m.LLCPerSocket))
+		ph := one(seqSortOverhead*sortCmpInstr*levels, 0, bytes, false)
+		return ph
+	default:
+		panic(fmt.Sprintf("skeleton: unknown op %v", w.Op))
+	}
+}
+
+// chunkPhase builds one phase with a task per chunk.
+func chunkPhase(w Workload, chunks []exec.Range, instr, flops, bytes float64, vec bool) Phase {
+	tasks := make([]Task, len(chunks))
+	for i, c := range chunks {
+		tasks[i] = Task{
+			Elems: float64(c.Len()), Span: c,
+			InstrPerElem: instr, FlopsPerElem: flops,
+			BytesPerElem: bytes, Vectorizable: vec,
+		}
+	}
+	return Phase{Tasks: tasks, EarlyExit: -1}
+}
+
+// buildParallelFind builds the early-exit scan: every chunk streams until
+// the chunk containing the hit reaches it, at which point cancellation
+// propagates. Implementations that only check for cancellation at chunk
+// boundaries (cancelAtChunk) scan everything regardless of the hit.
+func buildParallelFind(w Workload, chunks []exec.Range, cancelAtChunk bool) []Phase {
+	hit := int(w.HitFrac * float64(w.N-1))
+	ph := chunkPhase(w, chunks, findInstr, 0, w.scaleBytes(findBytes), false)
+	if cancelAtChunk {
+		return []Phase{ph}
+	}
+	ph.EarlyExit = 0
+	for i, c := range chunks {
+		if hit >= c.Lo && hit < c.Hi {
+			ph.EarlyExit = i
+			// The owner only scans up to the hit.
+			ph.Tasks[i].Elems = math.Max(1, float64(hit-c.Lo+1))
+			break
+		}
+	}
+	return []Phase{ph}
+}
+
+// buildParallelSort builds the mergesort skeleton. The GNU backend models
+// MCSTL's multiway mergesort (leaf sorts + ONE p-way merge pass), which
+// streams the array once and therefore scales best at high thread counts
+// (Fig. 7b); the other backends model binary merge rounds, each streaming
+// the full array.
+func buildParallelSort(w Workload, b *backend.Backend, threads int, m *machine.Machine) []Phase {
+	n := float64(w.N)
+	parts := threads
+	if parts > int(w.N) {
+		parts = int(w.N)
+	}
+	leafElems := n / float64(parts)
+	leafLevels := math.Max(1, math.Log2(math.Max(2, leafElems)))
+	leafBytes := sortPassBytes(leafElems*float64(w.ElemBytes), float64(m.L2PerCore))
+	leafChunks := exec.Static.Partition(int(w.N), parts)
+	phases := []Phase{chunkPhase(w, leafChunks, sortCmpInstr*leafLevels, 0, leafBytes, false)}
+
+	if b.Runtime == "GNU" {
+		// Single multiway merge: every part merges its share of the
+		// output from all p sorted runs.
+		mw := chunkPhase(w, leafChunks, multiwayFactor*math.Log2(float64(parts)+1), 0, w.scaleBytes(sortMergeBytes), false)
+		// Splitter selection is a short sequential section.
+		mw.SeqInstr = 500 * float64(parts)
+		return append(phases, mw)
+	}
+
+	// Binary merge rounds: each round merges pairs of runs across the
+	// whole array. The merges themselves are parallelized (split at run
+	// medians), so every round keeps all cores busy, but each round
+	// streams the full array and pays split/scatter instructions — the
+	// log2(p) extra passes are the scalability ceiling the paper
+	// observes for TBB/HPX/NVC sort.
+	rounds := int(math.Ceil(math.Log2(float64(parts))))
+	for r := 0; r < rounds; r++ {
+		mergeChunks := exec.Static.Partition(int(w.N), parts)
+		phases = append(phases, chunkPhase(w, mergeChunks, sortMergeInstr, 0, w.scaleBytes(sortMergeBytes), false))
+	}
+	return phases
+}

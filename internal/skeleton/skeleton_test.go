@@ -1,0 +1,205 @@
+package skeleton
+
+import (
+	"testing"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+)
+
+func wl(op backend.Op, n int64) Workload {
+	return Workload{Op: op, N: n, ElemBytes: 8, Kit: 1, HitFrac: 0.5}
+}
+
+// totalElems sums the element counts across a phase.
+func totalElems(ph Phase) float64 {
+	s := 0.0
+	for _, t := range ph.Tasks {
+		s += t.Elems
+	}
+	return s
+}
+
+func TestSequentialBuildsSingleTask(t *testing.T) {
+	m := machine.MachA()
+	for _, op := range backend.Ops() {
+		phases, parallel := Build(wl(op, 1<<20), backend.GCCSeq(), 32, m)
+		if parallel {
+			t.Errorf("%s: sequential backend built a parallel skeleton", op)
+		}
+		if len(phases) != 1 || len(phases[0].Tasks) != 1 {
+			t.Errorf("%s: sequential skeleton has %d phases", op, len(phases))
+		}
+	}
+}
+
+func TestParallelTaskCountsFollowGrain(t *testing.T) {
+	m := machine.MachA()
+	b := backend.GCCTBB() // Auto grain: 4 chunks/worker
+	phases, parallel := Build(wl(backend.OpForEach, 1<<20), b, 32, m)
+	if !parallel {
+		t.Fatal("not parallel")
+	}
+	if got := len(phases[0].Tasks); got != 128 {
+		t.Fatalf("task count %d, want 128 (4 x 32)", got)
+	}
+	if totalElems(phases[0]) != float64(1<<20) {
+		t.Fatalf("tasks cover %v elements", totalElems(phases[0]))
+	}
+}
+
+func TestScanHasTwoPhases(t *testing.T) {
+	m := machine.MachC()
+	phases, parallel := Build(wl(backend.OpInclusiveScan, 1<<22), backend.GCCTBB(), 128, m)
+	if !parallel || len(phases) != 2 {
+		t.Fatalf("scan skeleton: parallel=%v phases=%d, want 2", parallel, len(phases))
+	}
+	if phases[0].SeqInstr == 0 {
+		t.Error("scan phase 1 missing the sequential offset pass")
+	}
+	// Both passes cover the whole array: ~2x the work of a single pass.
+	if totalElems(phases[0]) != float64(1<<22) || totalElems(phases[1]) != float64(1<<22) {
+		t.Error("scan phases do not each cover the array")
+	}
+}
+
+func TestFindEarlyExitOwner(t *testing.T) {
+	m := machine.MachA()
+	w := wl(backend.OpFind, 1<<20)
+	w.HitFrac = 0.25
+	phases, _ := Build(w, backend.GCCTBB(), 32, m)
+	ph := phases[0]
+	if ph.EarlyExit < 0 {
+		t.Fatal("find skeleton lost its early exit")
+	}
+	owner := ph.Tasks[ph.EarlyExit]
+	nElems := float64(int64(1)<<20 - 1)
+	hit := int(0.25 * nElems)
+	if hit < owner.Span.Lo || hit >= owner.Span.Hi {
+		t.Fatalf("early-exit task %v does not contain hit %d", owner.Span, hit)
+	}
+	if owner.Elems > float64(owner.Span.Len()) {
+		t.Fatal("owner scans beyond its chunk")
+	}
+}
+
+func TestFindCancelAtChunkScansEverything(t *testing.T) {
+	m := machine.MachA()
+	phases, _ := Build(wl(backend.OpFind, 1<<20), backend.NVCOMP(), 32, m)
+	ph := phases[0]
+	if ph.EarlyExit >= 0 {
+		t.Fatal("NVC find should not early-exit (chunk-granular cancellation)")
+	}
+	if totalElems(ph) != float64(1<<20) {
+		t.Fatalf("NVC find scans %v elements, want all", totalElems(ph))
+	}
+}
+
+func TestSequentialFindScansHalf(t *testing.T) {
+	m := machine.MachA()
+	w := wl(backend.OpFind, 1<<20)
+	w.HitFrac = 0.5
+	phases, _ := Build(w, backend.GCCSeq(), 1, m)
+	if got := phases[0].Tasks[0].Elems; got < float64(1<<19)*0.99 || got > float64(1<<19)*1.01 {
+		t.Fatalf("sequential find scans %v elements, want ~half", got)
+	}
+}
+
+func TestSortSkeletonShapes(t *testing.T) {
+	m := machine.MachC()
+	// GNU: leaf phase + ONE multiway merge phase.
+	gnu, _ := Build(wl(backend.OpSort, 1<<24), backend.GCCGNU(), 128, m)
+	if len(gnu) != 2 {
+		t.Fatalf("GNU sort has %d phases, want 2 (multiway)", len(gnu))
+	}
+	// TBB: leaf phase + log2(128) = 7 binary merge rounds.
+	tbb, _ := Build(wl(backend.OpSort, 1<<24), backend.GCCTBB(), 128, m)
+	if len(tbb) != 8 {
+		t.Fatalf("TBB sort has %d phases, want 8", len(tbb))
+	}
+	// Every phase covers the array.
+	for i, ph := range tbb {
+		if totalElems(ph) != float64(1<<24) {
+			t.Fatalf("TBB sort phase %d covers %v elements", i, totalElems(ph))
+		}
+	}
+}
+
+func TestThresholdFallbacks(t *testing.T) {
+	m := machine.MachA()
+	if _, parallel := Build(wl(backend.OpForEach, 1<<9), backend.GCCGNU(), 32, m); parallel {
+		t.Error("GNU for_each below 2^10 should be sequential")
+	}
+	if _, parallel := Build(wl(backend.OpSort, 1<<9), backend.GCCTBB(), 32, m); parallel {
+		t.Error("TBB sort at 2^9 should be sequential")
+	}
+	if _, parallel := Build(wl(backend.OpInclusiveScan, 1<<24), backend.NVCOMP(), 32, m); parallel {
+		t.Error("NVC scan should never be parallel")
+	}
+	if _, parallel := Build(wl(backend.OpReduce, 1<<24), backend.GCCTBB(), 1, m); parallel {
+		t.Error("1 thread should never be parallel")
+	}
+}
+
+func TestTable3InstructionTotals(t *testing.T) {
+	// intrinsic + overhead must reproduce the Table 3 per-element counts.
+	m := machine.MachA()
+	want := map[string]float64{
+		"GCC-TBB": 16.0, "GCC-GNU": 22.4, "GCC-HPX": 35.7,
+		"ICC-TBB": 14.4, "NVC-OMP": 20.9,
+	}
+	for _, b := range backend.Parallel() {
+		phases, _ := Build(wl(backend.OpForEach, 1<<24), b, 32, m)
+		perElem := phases[0].Tasks[0].InstrPerElem + b.Traits(backend.OpForEach).InstrOverheadPerElem
+		if got, w := perElem, want[b.ID]; got < w*0.98 || got > w*1.02 {
+			t.Errorf("%s: %v instr/elem, want %v", b.ID, got, w)
+		}
+	}
+}
+
+func TestZeroAndValidation(t *testing.T) {
+	m := machine.MachA()
+	if phases, _ := Build(wl(backend.OpReduce, 0), backend.GCCTBB(), 32, m); phases != nil {
+		t.Error("N=0 should produce no phases")
+	}
+	mustPanic := func(name string, w Workload) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		Build(w, backend.GCCTBB(), 32, m)
+	}
+	mustPanic("negative N", Workload{Op: backend.OpReduce, N: -1, ElemBytes: 8})
+	mustPanic("bad elem size", Workload{Op: backend.OpReduce, N: 8, ElemBytes: 3})
+	mustPanic("zero kit", Workload{Op: backend.OpForEach, N: 8, ElemBytes: 8, Kit: 0})
+	mustPanic("bad hitfrac", Workload{Op: backend.OpFind, N: 8, ElemBytes: 8, HitFrac: 2})
+}
+
+func TestFloatHalvesTraffic(t *testing.T) {
+	m := machine.MachA()
+	d, _ := Build(wl(backend.OpReduce, 1<<20), backend.GCCTBB(), 32, m)
+	wf := wl(backend.OpReduce, 1<<20)
+	wf.ElemBytes = 4
+	f, _ := Build(wf, backend.GCCTBB(), 32, m)
+	if f[0].Tasks[0].BytesPerElem*2 != d[0].Tasks[0].BytesPerElem {
+		t.Fatalf("float traffic %v, double traffic %v", f[0].Tasks[0].BytesPerElem, d[0].Tasks[0].BytesPerElem)
+	}
+}
+
+func TestForEachKitScalesInstructions(t *testing.T) {
+	m := machine.MachA()
+	w1 := wl(backend.OpForEach, 1<<20)
+	w1000 := w1
+	w1000.Kit = 1000
+	p1, _ := Build(w1, backend.GCCTBB(), 32, m)
+	p1000, _ := Build(w1000, backend.GCCTBB(), 32, m)
+	r := p1000[0].Tasks[0].InstrPerElem / p1[0].Tasks[0].InstrPerElem
+	if r < 400 || r > 700 {
+		t.Fatalf("kit=1000/kit=1 instruction ratio %v implausible", r)
+	}
+	if p1000[0].Tasks[0].FlopsPerElem != 1000 {
+		t.Fatalf("kit=1000 flops = %v", p1000[0].Tasks[0].FlopsPerElem)
+	}
+}

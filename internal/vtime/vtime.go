@@ -1,0 +1,113 @@
+// Package vtime provides the virtual-time primitives used by the
+// performance simulator: a seconds-based Time type with convenient unit
+// constructors, and a small event queue for discrete-event scheduling.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or duration of) virtual time, in seconds. The
+// simulator works in float64 seconds rather than integer nanoseconds
+// because modeled rates (bytes/s shared across cores) are continuous.
+type Time float64
+
+// Unit constructors.
+func Seconds(s float64) Time      { return Time(s) }
+func Milliseconds(m float64) Time { return Time(m * 1e-3) }
+func Microseconds(u float64) Time { return Time(u * 1e-6) }
+func Nanoseconds(n float64) Time  { return Time(n * 1e-9) }
+
+// Seconds returns the time as float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Nanoseconds returns the time as float64 nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) * 1e9 }
+
+// Inf is a time later than any event.
+const Inf = Time(math.MaxFloat64)
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	s := float64(t)
+	switch {
+	case s == math.MaxFloat64:
+		return "inf"
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3fus", s*1e6)
+	default:
+		return fmt.Sprintf("%.1fns", s*1e9)
+	}
+}
+
+// Event is an entry in an EventQueue.
+type Event struct {
+	At      Time
+	Payload any
+}
+
+// EventQueue is a min-heap of events ordered by time. Ties are broken by
+// insertion order, so simulations are deterministic.
+type EventQueue struct {
+	h eventHeap
+}
+
+// Push adds an event.
+func (q *EventQueue) Push(at Time, payload any) {
+	heap.Push(&q.h, eventEntry{Event{at, payload}, q.h.nextSeq()})
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue.
+func (q *EventQueue) Pop() Event {
+	if q.Len() == 0 {
+		panic("vtime.EventQueue: pop from empty queue")
+	}
+	return heap.Pop(&q.h).(eventEntry).Event
+}
+
+// Peek returns the earliest event without removing it.
+func (q *EventQueue) Peek() (Event, bool) {
+	if q.Len() == 0 {
+		return Event{}, false
+	}
+	return q.h.entries[0].Event, true
+}
+
+// Len returns the number of queued events.
+func (q *EventQueue) Len() int { return len(q.h.entries) }
+
+type eventEntry struct {
+	Event
+	seq uint64
+}
+
+type eventHeap struct {
+	entries []eventEntry
+	seq     uint64
+}
+
+func (h *eventHeap) nextSeq() uint64 { h.seq++; return h.seq }
+
+func (h *eventHeap) Len() int { return len(h.entries) }
+func (h *eventHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+func (h *eventHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *eventHeap) Push(x any)    { h.entries = append(h.entries, x.(eventEntry)) }
+func (h *eventHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}

@@ -1,0 +1,128 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitConstructors(t *testing.T) {
+	if Seconds(1.5) != 1.5 {
+		t.Fatal("Seconds")
+	}
+	if Milliseconds(2) != Time(2e-3) {
+		t.Fatal("Milliseconds")
+	}
+	if Microseconds(3) != Time(3e-6) {
+		t.Fatal("Microseconds")
+	}
+	if Nanoseconds(4) != Time(4e-9) {
+		t.Fatal("Nanoseconds")
+	}
+	if Seconds(2).Nanoseconds() != 2e9 {
+		t.Fatal("Nanoseconds()")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		Seconds(1.5):       "1.500s",
+		Milliseconds(2.25): "2.250ms",
+		Microseconds(7):    "7.000us",
+		Nanoseconds(12):    "12.0ns",
+		Inf:                "inf",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", float64(v), got, want)
+		}
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Payload.(string))
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("pop order %v", got)
+	}
+}
+
+func TestEventQueueFIFOTies(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 10; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop().Payload.(int); got != i {
+			t.Fatalf("tie order broken: got %d at position %d", got, i)
+		}
+	}
+}
+
+func TestEventQueuePeekAndEmpty(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue returned ok")
+	}
+	q.Push(7, "x")
+	e, ok := q.Peek()
+	if !ok || e.At != 7 || q.Len() != 1 {
+		t.Fatalf("Peek: %v %v len=%d", e, ok, q.Len())
+	}
+	q.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	q.Pop()
+}
+
+// Property: events always pop in non-decreasing time order.
+func TestPropEventQueueSorted(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q EventQueue
+		for _, v := range times {
+			q.Push(Time(v), nil)
+		}
+		var got []float64
+		for q.Len() > 0 {
+			got = append(got, q.Pop().At.Seconds())
+		}
+		return sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var q EventQueue
+	last := Time(-1)
+	pushed, popped := 0, 0
+	for i := 0; i < 2000; i++ {
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			// Events may only be scheduled at or after the current time.
+			q.Push(last+Time(rng.Float64()), nil)
+			pushed++
+		} else {
+			e := q.Pop()
+			popped++
+			if e.At < last {
+				t.Fatalf("time went backwards: %v after %v", e.At, last)
+			}
+			last = e.At
+		}
+	}
+	if popped == 0 || pushed == 0 {
+		t.Fatal("degenerate test run")
+	}
+}
