@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the work-stealing scheduler
+# and the algorithms that drive it.
+race:
+	$(GO) test -race ./internal/native/... ./internal/core/...
+
+bench:
+	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
+
+check: vet build test race

@@ -7,6 +7,7 @@ package pstlbench
 // them at full scale. Key figures are attached as benchmark metrics.
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"pstlbench/internal/allocsim"
 	"pstlbench/internal/backend"
 	"pstlbench/internal/core"
+	"pstlbench/internal/exec"
 	"pstlbench/internal/experiments"
 	"pstlbench/internal/machine"
 	"pstlbench/internal/native"
@@ -182,6 +184,31 @@ func BenchmarkNativeTransformReduce(b *testing.B) {
 // Native pool microbenchmarks: the per-invocation overhead of each
 // scheduling strategy (the quantity the paper's small-size crossovers are
 // made of).
+// BenchmarkSchedulerOverhead measures pure dispatch cost: an empty-body
+// ForChunks against each scheduling strategy across worker counts. With no
+// useful work per chunk, the entire measured time is the scheduler — task
+// publication, deque traffic, steals, parks and wakeups. This is the
+// microbenchmark behind the dispatch-overhead axis that separates the
+// backends in the paper's small-n regime.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	const n = 1 << 16
+	for _, s := range []native.Strategy{native.StrategyForkJoin, native.StrategyStealing, native.StrategyCentralQueue} {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			s, workers := s, workers
+			b.Run(fmt.Sprintf("%s/w%d", s, workers), func(b *testing.B) {
+				pool := native.New(workers, s)
+				defer pool.Close()
+				body := func(worker, lo, hi int) {}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pool.ForChunks(n, exec.Fine, body)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkPoolOverhead(b *testing.B) {
 	for _, s := range []native.Strategy{native.StrategyForkJoin, native.StrategyStealing, native.StrategyCentralQueue} {
 		s := s

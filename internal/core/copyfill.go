@@ -50,28 +50,28 @@ func CopyIf[T any](p Policy, dst, src []T, pred func(T) bool) int {
 		return w
 	}
 	chunks := p.chunks(n)
-	counts := make([]int, len(chunks))
+	counts := make([]int, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
 		c := 0
-		for _, v := range src[chunks[ci].Lo:chunks[ci].Hi] {
+		for _, v := range src[chunks.at(ci).Lo:chunks.at(ci).Hi] {
 			if pred(v) {
 				c++
 			}
 		}
 		counts[ci] = c
 	})
-	offsets := make([]int, len(chunks)+1)
+	offsets := make([]int, chunks.len()+1)
 	for ci, c := range counts {
 		offsets[ci+1] = offsets[ci] + c
 	}
-	total := offsets[len(chunks)]
+	total := offsets[chunks.len()]
 	if total > cap(dst) {
 		panic("core.CopyIf: dst capacity too small")
 	}
 	dst = dst[:cap(dst)]
 	p.forEachChunk(chunks, func(ci int) {
 		w := offsets[ci]
-		for _, v := range src[chunks[ci].Lo:chunks[ci].Hi] {
+		for _, v := range src[chunks.at(ci).Lo:chunks.at(ci).Hi] {
 			if pred(v) {
 				dst[w] = v
 				w++
@@ -138,24 +138,26 @@ func Unique[T comparable](p Policy, s []T) int {
 	}
 	keep := func(i int) bool { return i == 0 || s[i] != s[i-1] }
 	chunks := p.chunks(n)
-	counts := make([]int, len(chunks))
+	counts := make([]int, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
-		c := 0
-		for i := chunks[ci].Lo; i < chunks[ci].Hi; i++ {
+		cnt := 0
+		c := chunks.at(ci)
+		for i := c.Lo; i < c.Hi; i++ {
 			if keep(i) {
-				c++
+				cnt++
 			}
 		}
-		counts[ci] = c
+		counts[ci] = cnt
 	})
-	offsets := make([]int, len(chunks)+1)
+	offsets := make([]int, chunks.len()+1)
 	for ci, c := range counts {
 		offsets[ci+1] = offsets[ci] + c
 	}
-	tmp := make([]T, offsets[len(chunks)])
+	tmp := make([]T, offsets[chunks.len()])
 	p.forEachChunk(chunks, func(ci int) {
 		w := offsets[ci]
-		for i := chunks[ci].Lo; i < chunks[ci].Hi; i++ {
+		c := chunks.at(ci)
+		for i := c.Lo; i < c.Hi; i++ {
 			if keep(i) {
 				tmp[w] = s[i]
 				w++

@@ -39,9 +39,9 @@ func extremeElement[T any](p Policy, s []T, less func(a, b T) bool, wantMax bool
 		return seqScan(0, n)
 	}
 	chunks := p.chunks(n)
-	partial := make([]int, len(chunks))
+	partial := make([]int, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
-		partial[ci] = seqScan(chunks[ci].Lo, chunks[ci].Hi)
+		partial[ci] = seqScan(chunks.at(ci).Lo, chunks.at(ci).Hi)
 	})
 	best := partial[0]
 	for _, idx := range partial[1:] {
@@ -78,9 +78,9 @@ func MinMaxElement[T any](p Policy, s []T, less func(a, b T) bool) (minIdx, maxI
 		return r.lo, r.hi
 	}
 	chunks := p.chunks(n)
-	partial := make([]mm, len(chunks))
+	partial := make([]mm, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
-		partial[ci] = seqScan(chunks[ci].Lo, chunks[ci].Hi)
+		partial[ci] = seqScan(chunks.at(ci).Lo, chunks.at(ci).Hi)
 	})
 	best := partial[0]
 	for _, r := range partial[1:] {

@@ -84,20 +84,39 @@ func (p Policy) pool() exec.Pool {
 // workers returns the worker count of the underlying pool.
 func (p Policy) workers() int { return p.pool().Workers() }
 
+// chunkSet is an index-addressable view of the chunk decomposition of
+// [0, n) under a policy: chunk ranges are computed on demand from the grain
+// arithmetic (exec.Grain.ChunkAt) instead of materializing a []exec.Range
+// per call, keeping the multi-phase algorithms off the allocator for the
+// decomposition itself.
+type chunkSet struct {
+	grain exec.Grain
+	n     int
+	w     int
+	count int
+}
+
+// len returns the number of chunks in the decomposition.
+func (cs chunkSet) len() int { return cs.count }
+
+// at returns chunk ci of the decomposition.
+func (cs chunkSet) at(ci int) exec.Range { return cs.grain.ChunkAt(ci, cs.n, cs.w) }
+
 // chunks returns the chunk decomposition of [0, n) under this policy.
 // All multi-phase algorithms (scan, stable partition, copy-if) derive every
 // phase from the same decomposition so per-chunk intermediate results line
 // up across phases.
-func (p Policy) chunks(n int) []exec.Range {
-	return p.Grain.Partition(n, p.workers())
+func (p Policy) chunks(n int) chunkSet {
+	w := p.workers()
+	return chunkSet{grain: p.Grain, n: n, w: w, count: p.Grain.ChunkCount(n, w)}
 }
 
-// forEachChunk runs body over the chunk list on the policy's pool. It is
+// forEachChunk runs body over the chunk set on the policy's pool. It is
 // the building block for the multi-phase algorithms, which need an explicit
-// chunk list rather than ForChunks' implicit partition.
-func (p Policy) forEachChunk(chunks []exec.Range, body func(ci int)) {
+// chunk decomposition rather than ForChunks' implicit partition.
+func (p Policy) forEachChunk(chunks chunkSet, body func(ci int)) {
 	pl := p.pool()
-	pl.ForChunks(len(chunks), exec.Grain{ChunksPerWorker: 1, MaxChunk: 1}, func(_, lo, hi int) {
+	pl.ForChunks(chunks.count, exec.Grain{ChunksPerWorker: 1, MaxChunk: 1}, func(_, lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			body(ci)
 		}

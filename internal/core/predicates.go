@@ -37,10 +37,10 @@ func CountIf[T any](p Policy, s []T, pred func(T) bool) int {
 		return c
 	}
 	chunks := p.chunks(n)
-	partial := make([]int, len(chunks))
+	partial := make([]int, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
 		c := 0
-		for _, e := range s[chunks[ci].Lo:chunks[ci].Hi] {
+		for _, e := range s[chunks.at(ci).Lo:chunks.at(ci).Hi] {
 			if pred(e) {
 				c++
 			}

@@ -34,10 +34,10 @@ func TransformReduce[T, U any](p Policy, s []T, init U, op func(a, b U) U, trans
 		return acc
 	}
 	chunks := p.chunks(n)
-	partial := make([]U, len(chunks))
-	hasVal := make([]bool, len(chunks))
+	partial := make([]U, chunks.len())
+	hasVal := make([]bool, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
-		c := chunks[ci]
+		c := chunks.at(ci)
 		if c.Empty() {
 			return
 		}
@@ -73,10 +73,10 @@ func TransformReduceBinary[T, V, U any](p Policy, a []T, b []V, init U, op func(
 		return acc
 	}
 	chunks := p.chunks(n)
-	partial := make([]U, len(chunks))
-	hasVal := make([]bool, len(chunks))
+	partial := make([]U, chunks.len())
+	hasVal := make([]bool, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
-		c := chunks[ci]
+		c := chunks.at(ci)
 		if c.Empty() {
 			return
 		}

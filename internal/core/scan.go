@@ -41,10 +41,10 @@ func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U
 		return
 	}
 	chunks := p.chunks(n)
-	sums := make([]U, len(chunks))
+	sums := make([]U, chunks.len())
 	// Phase 1: reduce every chunk.
 	p.forEachChunk(chunks, func(ci int) {
-		c := chunks[ci]
+		c := chunks.at(ci)
 		acc := transform(src[c.Lo])
 		for i := c.Lo + 1; i < c.Hi; i++ {
 			acc = op(acc, transform(src[i]))
@@ -52,8 +52,8 @@ func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U
 		sums[ci] = acc
 	})
 	// Sequential pass: exclusive prefix of the chunk sums.
-	offsets := make([]U, len(chunks))
-	for ci := 1; ci < len(chunks); ci++ {
+	offsets := make([]U, chunks.len())
+	for ci := 1; ci < chunks.len(); ci++ {
 		if ci == 1 {
 			offsets[1] = sums[0]
 		} else {
@@ -62,7 +62,7 @@ func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U
 	}
 	// Phase 2: rescan every chunk from its offset.
 	p.forEachChunk(chunks, func(ci int) {
-		c := chunks[ci]
+		c := chunks.at(ci)
 		var acc U
 		if ci == 0 {
 			acc = transform(src[c.Lo])
@@ -105,22 +105,22 @@ func TransformExclusiveScan[T, U any](p Policy, dst []U, src []T, init U, op fun
 		return
 	}
 	chunks := p.chunks(n)
-	sums := make([]U, len(chunks))
+	sums := make([]U, chunks.len())
 	p.forEachChunk(chunks, func(ci int) {
-		c := chunks[ci]
+		c := chunks.at(ci)
 		acc := transform(src[c.Lo])
 		for i := c.Lo + 1; i < c.Hi; i++ {
 			acc = op(acc, transform(src[i]))
 		}
 		sums[ci] = acc
 	})
-	offsets := make([]U, len(chunks))
+	offsets := make([]U, chunks.len())
 	offsets[0] = init
-	for ci := 1; ci < len(chunks); ci++ {
+	for ci := 1; ci < chunks.len(); ci++ {
 		offsets[ci] = op(offsets[ci-1], sums[ci-1])
 	}
 	p.forEachChunk(chunks, func(ci int) {
-		c := chunks[ci]
+		c := chunks.at(ci)
 		acc := offsets[ci]
 		for i := c.Lo; i < c.Hi; i++ {
 			next := op(acc, transform(src[i]))

@@ -25,16 +25,16 @@ func Includes[T any](p Policy, a, b []T, less func(x, y T) bool) bool {
 	// inclusion is NOT chunk-decomposable at equal-run boundaries, so
 	// chunks are extended to cover whole equal-runs of b.
 	chunks := p.chunks(len(b))
-	bounds := make([]int, len(chunks)+1)
-	for ci := 1; ci < len(chunks); ci++ {
-		lo := chunks[ci].Lo
+	bounds := make([]int, chunks.len()+1)
+	for ci := 1; ci < chunks.len(); ci++ {
+		lo := chunks.at(ci).Lo
 		// Move the boundary forward past the current equal-run.
 		for lo < len(b) && lo > 0 && !less(b[lo-1], b[lo]) {
 			lo++
 		}
 		bounds[ci] = lo
 	}
-	bounds[len(chunks)] = len(b)
+	bounds[chunks.len()] = len(b)
 	var failed atomic.Bool
 	p.forEachChunk(chunks, func(ci int) {
 		lo, hi := bounds[ci], bounds[ci+1]

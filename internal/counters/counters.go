@@ -29,6 +29,26 @@ type Set struct {
 	DRAMBytes float64
 	// Seconds is the wall time of the region.
 	Seconds float64
+
+	// Scheduler counters: the runtime events behind the backend overhead
+	// the paper measures (TBB deque steals vs. HPX central-queue traffic).
+	// Native pools report them from their deque scheduler
+	// (native.Pool.Stats); simulated runs model them in simexec, so both
+	// report comparable scheduling statistics.
+
+	// Steals is the number of work items acquired away from their home
+	// worker (deque/injector steals natively; off-home task assignments in
+	// the simulator).
+	Steals float64
+	// Parks is the number of times an idle worker blocked after its spin
+	// budget (natively) or a core went idle for the rest of a phase
+	// (simulated).
+	Parks float64
+	// Wakeups is the number of idle workers woken to take on new work.
+	Wakeups float64
+	// EmptySpins is the number of scavenging rounds that found no runnable
+	// work (queue-empty polls).
+	EmptySpins float64
 }
 
 // Add accumulates o into s.
@@ -39,6 +59,10 @@ func (s *Set) Add(o Set) {
 	s.FP256 += o.FP256
 	s.DRAMBytes += o.DRAMBytes
 	s.Seconds += o.Seconds
+	s.Steals += o.Steals
+	s.Parks += o.Parks
+	s.Wakeups += o.Wakeups
+	s.EmptySpins += o.EmptySpins
 }
 
 // Scale multiplies every counter by f and returns the result.
@@ -50,7 +74,18 @@ func (s Set) Scale(f float64) Set {
 		FP256:        s.FP256 * f,
 		DRAMBytes:    s.DRAMBytes * f,
 		Seconds:      s.Seconds * f,
+		Steals:       s.Steals * f,
+		Parks:        s.Parks * f,
+		Wakeups:      s.Wakeups * f,
+		EmptySpins:   s.EmptySpins * f,
 	}
+}
+
+// SchedString formats the scheduler counters in the style of the paper's
+// overhead discussion ("steals=12 parks=3 wakeups=7 empty-spins=41").
+func (s Set) SchedString() string {
+	return fmt.Sprintf("steals=%s parks=%s wakeups=%s empty-spins=%s",
+		SI(s.Steals), SI(s.Parks), SI(s.Wakeups), SI(s.EmptySpins))
 }
 
 // Flops returns the total double-precision operation count.

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"testing"
+)
+
+var chunkGrains = []Grain{
+	Static,
+	Auto,
+	Fine,
+	Guided,
+	{ChunksPerWorker: 4, MinChunk: 100},
+	{ChunksPerWorker: 2, MaxChunk: 33},
+	{ChunksPerWorker: guidedMarker, MinChunk: 64},
+}
+
+// TestChunkAtMatchesPartition pins the index-based access path to the
+// materializing one: ChunkCount, ChunkAt and ForEachChunk must agree with
+// Partition exactly for every grain, size and worker count.
+func TestChunkAtMatchesPartition(t *testing.T) {
+	for _, g := range chunkGrains {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000, 65536} {
+			for _, w := range []int{1, 2, 3, 8, 17, 128} {
+				want := g.Partition(n, w)
+				if got := g.ChunkCount(n, w); got != len(want) {
+					t.Fatalf("grain %+v n=%d w=%d: ChunkCount=%d, Partition len=%d",
+						g, n, w, got, len(want))
+				}
+				for i, r := range want {
+					if got := g.ChunkAt(i, n, w); got != r {
+						t.Fatalf("grain %+v n=%d w=%d: ChunkAt(%d)=%+v, want %+v",
+							g, n, w, i, got, r)
+					}
+				}
+				seen := 0
+				g.ForEachChunk(n, w, func(ci int, r Range) {
+					if ci != seen {
+						t.Fatalf("grain %+v n=%d w=%d: ForEachChunk index %d, want %d",
+							g, n, w, ci, seen)
+					}
+					if r != want[ci] {
+						t.Fatalf("grain %+v n=%d w=%d: ForEachChunk chunk %d=%+v, want %+v",
+							g, n, w, ci, r, want[ci])
+					}
+					seen++
+				})
+				if seen != len(want) {
+					t.Fatalf("grain %+v n=%d w=%d: ForEachChunk visited %d chunks, want %d",
+						g, n, w, seen, len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestGuidedChunkCountNoAlloc verifies the guided count satellite fix:
+// counting chunks must not materialize the partition.
+func TestGuidedChunkCountNoAlloc(t *testing.T) {
+	g := Guided
+	allocs := testing.AllocsPerRun(100, func() {
+		if g.ChunkCount(1<<20, 64) == 0 {
+			t.Fatal("zero chunks")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guided ChunkCount allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestChunkAtOutOfRange(t *testing.T) {
+	if r := Auto.ChunkAt(999, 100, 4); !r.Empty() {
+		t.Fatalf("out-of-range ChunkAt = %+v, want empty", r)
+	}
+	if r := Guided.ChunkAt(999, 100, 4); !r.Empty() {
+		t.Fatalf("guided out-of-range ChunkAt = %+v, want empty", r)
+	}
+}

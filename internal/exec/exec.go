@@ -65,8 +65,16 @@ var Guided = Grain{ChunksPerWorker: guidedMarker}
 // guidedMarker selects the guided partitioning path in Partition.
 const guidedMarker = -1
 
+// IsGuided reports whether the grain uses the guided (geometrically
+// decreasing) partition, whose chunk ranges cannot be computed in O(1).
+// Schedulers use this to pick between the closed-form linear chunk lookup
+// and ChunkAt's replay.
+func (g Grain) IsGuided() bool { return g.ChunksPerWorker == guidedMarker }
+
 // ChunkCount returns the number of chunks Partition will produce for an
-// iteration space of n elements on the given number of workers.
+// iteration space of n elements on the given number of workers. It never
+// allocates; the guided count is computed by replaying the size recurrence
+// arithmetically instead of materializing the partition.
 func (g Grain) ChunkCount(n, workers int) int {
 	if n <= 0 {
 		return 0
@@ -75,7 +83,7 @@ func (g Grain) ChunkCount(n, workers int) int {
 		workers = 1
 	}
 	if g.ChunksPerWorker == guidedMarker {
-		return len(g.Partition(n, workers))
+		return guidedChunkCount(n, workers, g.MinChunk)
 	}
 	cpw := g.ChunksPerWorker
 	if cpw < 1 {
@@ -130,6 +138,86 @@ func (g Grain) Partition(n, workers int) []Range {
 	return out
 }
 
+// ChunkAt returns the i-th chunk of the partition of [0, n), identical to
+// Partition(n, workers)[i] but without materializing the slice. It is the
+// index-based access path the native scheduler uses for zero-allocation
+// chunk dispatch. For the linear grains the lookup is O(1); for Guided the
+// chunk sizes form a recurrence, so the lookup replays the i leading sizes
+// (O(i), with small guided chunk counts in practice).
+//
+// i must be in [0, ChunkCount(n, workers)).
+func (g Grain) ChunkAt(i, n, workers int) Range {
+	if workers < 1 {
+		workers = 1
+	}
+	if g.ChunksPerWorker == guidedMarker {
+		minChunk := g.MinChunk
+		if minChunk < 1 {
+			minChunk = 1
+		}
+		lo := 0
+		for k := 0; lo < n; k++ {
+			size := guidedSize(n, lo, workers, minChunk)
+			if k == i {
+				return Range{Lo: lo, Hi: lo + size}
+			}
+			lo += size
+		}
+		return Range{}
+	}
+	chunks := g.ChunkCount(n, workers)
+	if chunks == 0 || i < 0 || i >= chunks {
+		return Range{}
+	}
+	base := n / chunks
+	rem := n % chunks
+	// The first rem chunks carry one extra iteration.
+	var lo int
+	if i < rem {
+		lo = i * (base + 1)
+		return Range{Lo: lo, Hi: lo + base + 1}
+	}
+	lo = rem*(base+1) + (i-rem)*base
+	return Range{Lo: lo, Hi: lo + base}
+}
+
+// ForEachChunk invokes fn(ci, r) for every chunk of the partition of [0, n)
+// in ascending order, without allocating the chunk list. It is equivalent to
+// ranging over Partition(n, workers).
+func (g Grain) ForEachChunk(n, workers int, fn func(ci int, r Range)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if g.ChunksPerWorker == guidedMarker {
+		minChunk := g.MinChunk
+		if minChunk < 1 {
+			minChunk = 1
+		}
+		lo := 0
+		for ci := 0; lo < n; ci++ {
+			size := guidedSize(n, lo, workers, minChunk)
+			fn(ci, Range{Lo: lo, Hi: lo + size})
+			lo += size
+		}
+		return
+	}
+	chunks := g.ChunkCount(n, workers)
+	base := n / chunks
+	rem := n % chunks
+	lo := 0
+	for ci := 0; ci < chunks; ci++ {
+		hi := lo + base
+		if ci < rem {
+			hi++
+		}
+		fn(ci, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+}
+
 // Pool is an execution substrate for parallel loops and task groups.
 //
 // Implementations must support concurrent independent loops and task
@@ -178,6 +266,48 @@ func (Serial) Do(fns ...func()) {
 	}
 }
 
+// guidedSize is one step of the schedule(guided) size recurrence: the chunk
+// starting at lo is remaining/workers iterations, never below minChunk, and
+// never beyond the end of the iteration space.
+func guidedSize(n, lo, workers, minChunk int) int {
+	size := (n - lo) / workers
+	if size < minChunk {
+		size = minChunk
+	}
+	if size > n-lo {
+		size = n - lo
+	}
+	return size
+}
+
+// guidedChunkCount counts schedule(guided) chunks without materializing
+// them. The size sequence has two regimes: a geometric head while
+// remaining/workers >= minChunk, then a fixed-size tail of minChunk chunks
+// (the integer floors make the head lengths data-dependent, so the head is
+// replayed exactly rather than approximated with logarithms; it is
+// O(workers * log(n)) steps and allocation-free).
+func guidedChunkCount(n, workers, minChunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	count := 0
+	lo := 0
+	for lo < n {
+		size := (n - lo) / workers
+		if size < minChunk {
+			// Tail regime: every remaining chunk is exactly minChunk
+			// (capped at the end), so the rest of the count is a division.
+			return count + (n-lo+minChunk-1)/minChunk
+		}
+		count++
+		lo += size
+	}
+	return count
+}
+
 // guidedPartition implements OpenMP's schedule(guided): each chunk is
 // remaining/workers iterations, never below minChunk.
 func guidedPartition(n, workers, minChunk int) []Range {
@@ -190,16 +320,10 @@ func guidedPartition(n, workers, minChunk int) []Range {
 	if minChunk < 1 {
 		minChunk = 1
 	}
-	var out []Range
+	out := make([]Range, 0, guidedChunkCount(n, workers, minChunk))
 	lo := 0
 	for lo < n {
-		size := (n - lo) / workers
-		if size < minChunk {
-			size = minChunk
-		}
-		if size > n-lo {
-			size = n - lo
-		}
+		size := guidedSize(n, lo, workers, minChunk)
 		out = append(out, Range{Lo: lo, Hi: lo + size})
 		lo += size
 	}

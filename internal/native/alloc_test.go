@@ -1,0 +1,57 @@
+package native
+
+import (
+	"fmt"
+	"testing"
+
+	"pstlbench/internal/exec"
+)
+
+// TestForChunksSteadyStateAllocs asserts the zero-allocation dispatch
+// property of the deque scheduler: once the pool's job descriptors, deque
+// buffers and inboxes are warm, ForChunks must not allocate per call — and
+// in particular not per chunk, which is where the seed's
+// one-closure-per-chunk scheme spent its time. A tiny fixed budget is
+// allowed for incidental runtime activity; the seed pool sat at 20+ allocs
+// per call (260+ for centralqueue).
+func TestForChunksSteadyStateAllocs(t *testing.T) {
+	const allocBudget = 2.0
+	for _, s := range allStrategies {
+		for _, workers := range []int{4, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", s, workers), func(t *testing.T) {
+				p := New(workers, s)
+				defer p.Close()
+				body := func(worker, lo, hi int) {}
+				// Warm up: size the job table, deques and band arrays.
+				for i := 0; i < 100; i++ {
+					p.ForChunks(1<<15, exec.Fine, body)
+				}
+				allocs := testing.AllocsPerRun(200, func() {
+					p.ForChunks(1<<15, exec.Fine, body)
+				})
+				if allocs > allocBudget {
+					t.Fatalf("steady-state ForChunks allocates %.1f/call, budget %.1f",
+						allocs, allocBudget)
+				}
+			})
+		}
+	}
+}
+
+// TestGrainDispatchNoRangeSlice pins the satellite fix on the partitioning
+// side: scheduling via chunk indices must not rebuild []Range per call even
+// for the guided grain.
+func TestGrainDispatchNoRangeSlice(t *testing.T) {
+	p := New(4, StrategyForkJoin)
+	defer p.Close()
+	body := func(worker, lo, hi int) {}
+	for i := 0; i < 50; i++ {
+		p.ForChunks(1<<15, exec.Guided, body)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.ForChunks(1<<15, exec.Guided, body)
+	})
+	if allocs > 2.0 {
+		t.Fatalf("guided ForChunks allocates %.1f/call", allocs)
+	}
+}

@@ -1,0 +1,145 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d wsDeque
+	d.init()
+	for i := uint64(1); i <= 5; i++ {
+		d.push(i)
+	}
+	for want := uint64(5); want >= 1; want-- {
+		w, ok := d.pop()
+		if !ok || w != want {
+			t.Fatalf("pop = %d,%v want %d", w, ok, want)
+		}
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	var d wsDeque
+	d.init()
+	for i := uint64(1); i <= 5; i++ {
+		d.push(i)
+	}
+	for want := uint64(1); want <= 5; want++ {
+		w, ok, _ := d.steal()
+		if !ok || w != want {
+			t.Fatalf("steal = %d,%v want %d", w, ok, want)
+		}
+	}
+	if _, ok, retry := d.steal(); ok || retry {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestDequeGrowPreservesWindow(t *testing.T) {
+	var d wsDeque
+	d.init()
+	// Interleave pushes and steals so the live window wraps the buffer,
+	// then force several growths.
+	next := uint64(1)
+	for i := 0; i < dqInitialSize/2; i++ {
+		d.push(next)
+		next++
+	}
+	for i := 0; i < dqInitialSize/4; i++ {
+		if _, ok, _ := d.steal(); !ok {
+			t.Fatal("warmup steal failed")
+		}
+	}
+	for i := 0; i < 4*dqInitialSize; i++ {
+		d.push(next)
+		next++
+	}
+	want := uint64(dqInitialSize/4 + 1)
+	for {
+		w, ok, _ := d.steal()
+		if !ok {
+			break
+		}
+		if w != want {
+			t.Fatalf("steal after grow = %d, want %d", w, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained to %d, want %d", want, next)
+	}
+}
+
+// TestDequeConcurrentStealers hammers one owner (push/pop) against several
+// thieves and checks every word is consumed exactly once. Run under -race
+// this also exercises the atomicity of the slot accesses.
+func TestDequeConcurrentStealers(t *testing.T) {
+	const (
+		words   = 100000
+		thieves = 4
+	)
+	var d wsDeque
+	d.init()
+	seen := make([]atomic.Int32, words+1)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if w, ok, _ := d.steal(); ok {
+					seen[w].Add(1)
+					consumed.Add(1)
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after the producer stops.
+					for {
+						w, ok, _ := d.steal()
+						if !ok {
+							return
+						}
+						seen[w].Add(1)
+						consumed.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := uint64(1); i <= words; i++ {
+		d.push(i)
+		if i%3 == 0 {
+			if w, ok := d.pop(); ok {
+				seen[w].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	for {
+		w, ok := d.pop()
+		if !ok {
+			break
+		}
+		seen[w].Add(1)
+		consumed.Add(1)
+	}
+	close(done)
+	wg.Wait()
+	if got := consumed.Load(); got != words {
+		t.Fatalf("consumed %d words, want %d", got, words)
+	}
+	for i := 1; i <= words; i++ {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("word %d consumed %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pstlbench/internal/exec"
+)
+
+// A task word is the unit queued on the deques: the high half names a job
+// slot in the pool's job table (+1, so the zero word is never a valid task),
+// the low half is a small argument interpreted by the job kind (part index,
+// chunk index, or thunk index). Keeping tasks single words is what lets the
+// deques hold them atomically, and replacing the seed's one-closure-per-chunk
+// scheme with (job, index) pairs is what removes the per-chunk allocations.
+func encodeTask(slot int32, arg int32) uint64 {
+	return uint64(slot+1)<<32 | uint64(uint32(arg))
+}
+
+func decodeTask(w uint64) (slot int32, arg int32) {
+	return int32(w>>32) - 1, int32(uint32(w))
+}
+
+// jobKind selects how a job interprets a task argument.
+type jobKind int8
+
+const (
+	// kindStatic: arg is a part index; the part runs chunks arg, arg+parts,
+	// arg+2*parts, ... (OpenMP schedule(static) interleaving).
+	kindStatic jobKind = iota
+	// kindBand: arg is a part index owning a band of contiguous chunk
+	// indices; exhausted parts steal half of a sibling band.
+	kindBand
+	// kindChunk: arg is a single chunk index (HPX-style per-chunk task).
+	kindChunk
+	// kindThunk: arg indexes into fns (Do task groups).
+	kindThunk
+)
+
+// job is a schedulable operation: one ForChunks loop or one Do group. Jobs
+// live permanently in their pool's job table and are recycled through a
+// slot freelist, so steady-state dispatch does not allocate: the band array
+// and thunk slice reuse their backing storage, and completion is signalled
+// through a reusable condition variable rather than a fresh channel.
+type job struct {
+	pool *Pool
+	slot int32
+	kind jobKind
+
+	// Completion accounting (the seed's group, folded in).
+	pending  atomic.Int64
+	doneFlag atomic.Bool
+	panicked atomic.Bool
+	panicVal any
+	wmu      sync.Mutex
+	wcond    sync.Cond // signalled once doneFlag is set
+
+	// Chunk loops.
+	body   func(worker, lo, hi int)
+	n      int  // iteration space size
+	chunks int  // total chunk count
+	parts  int  // scheduled parts (kindStatic / kindBand)
+	base   int  // linear partition: chunk size floor
+	rem    int  // linear partition: first rem chunks get one extra
+	guided bool // guided partition: ranges come from grain.ChunkAt
+	grain  exec.Grain
+	gw     int // worker count the partition was computed for
+	bands  []chunkBand
+
+	// Thunk groups.
+	fns []func()
+}
+
+// chunkBand is a [lo, hi) window of chunk indices packed into one CAS-able
+// word: the owner takes from the front, thieves split off the back half.
+// Chunk indices leave a band either by being claimed (front) or by moving to
+// the thief's band (back), and a claimed index never re-enters any band, so
+// the packed CAS is ABA-safe.
+type chunkBand struct {
+	state atomic.Uint64 // lo<<32 | hi
+}
+
+func packBand(lo, hi int32) uint64       { return uint64(uint32(lo))<<32 | uint64(uint32(hi)) }
+func unpackBand(s uint64) (lo, hi int32) { return int32(s >> 32), int32(uint32(s)) }
+
+// take claims the front chunk index of the band.
+func (b *chunkBand) take() (int32, bool) {
+	for {
+		s := b.state.Load()
+		lo, hi := unpackBand(s)
+		if lo >= hi {
+			return 0, false
+		}
+		if b.state.CompareAndSwap(s, packBand(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+// stealHalf removes the back half of the band (rounded down), returning the
+// stolen index range. Bands holding a single chunk are left to their owner:
+// stealing one chunk buys no balance and doubles the synchronization.
+func (b *chunkBand) stealHalf() (lo, hi int32, ok bool) {
+	for {
+		s := b.state.Load()
+		blo, bhi := unpackBand(s)
+		n := bhi - blo
+		if n < 2 {
+			return 0, 0, false
+		}
+		take := n / 2
+		if b.state.CompareAndSwap(s, packBand(blo, bhi-take)) {
+			return bhi - take, bhi, true
+		}
+	}
+}
+
+// chunkRange returns chunk i of the job's partition. O(1) for the linear
+// grains via the precomputed base/rem split; guided grains delegate to the
+// grain's replay (guided chunk counts are small).
+func (j *job) chunkRange(i int) exec.Range {
+	if j.guided {
+		return j.grain.ChunkAt(i, j.n, j.gw)
+	}
+	if i < j.rem {
+		lo := i * (j.base + 1)
+		return exec.Range{Lo: lo, Hi: lo + j.base + 1}
+	}
+	lo := j.rem*(j.base+1) + (i-j.rem)*j.base
+	return exec.Range{Lo: lo, Hi: lo + j.base}
+}
+
+// reset prepares a recycled job for a new use with n pending tasks.
+func (j *job) reset(kind jobKind, pending int) {
+	j.kind = kind
+	j.pending.Store(int64(pending))
+	j.doneFlag.Store(false)
+	j.panicked.Store(false)
+	j.panicVal = nil
+}
+
+// finish reports one task completion, capturing the first panic, and wakes
+// waiters when the job is complete.
+func (j *job) finish(recovered any) {
+	if recovered != nil && j.panicked.CompareAndSwap(false, true) {
+		j.panicVal = recovered
+	}
+	if j.pending.Add(-1) == 0 {
+		j.doneFlag.Store(true)
+		j.wmu.Lock()
+		j.wcond.Broadcast()
+		j.wmu.Unlock()
+	}
+}
+
+// isDone reports completion of every task of the job.
+func (j *job) isDone() bool { return j.doneFlag.Load() }
+
+// sleep blocks until the job completes. The pool's workers guarantee
+// progress on any queued task, so parking here cannot strand work.
+func (j *job) sleep() {
+	j.wmu.Lock()
+	for !j.doneFlag.Load() {
+		j.wcond.Wait()
+	}
+	j.wmu.Unlock()
+}
+
+// rethrow re-raises the first captured panic. Only valid after isDone.
+func (j *job) rethrow() {
+	if j.panicked.Load() {
+		panic(j.panicVal)
+	}
+}
+
+// runTask executes one task argument of the job on the given worker id,
+// reporting completion (and any panic) to the job.
+func (j *job) runTask(arg int32, worker int) {
+	defer func() { j.finish(recover()) }()
+	switch j.kind {
+	case kindStatic:
+		for i := int(arg); i < j.chunks; i += j.parts {
+			r := j.chunkRange(i)
+			j.body(worker, r.Lo, r.Hi)
+		}
+	case kindBand:
+		j.runBand(int(arg), worker)
+	case kindChunk:
+		r := j.chunkRange(int(arg))
+		j.body(worker, r.Lo, r.Hi)
+	case kindThunk:
+		j.fns[arg]()
+	}
+}
+
+// runBand drains the part's own band, then steals half of a sibling band,
+// starting from a randomized victim, until no band has stealable work left.
+func (j *job) runBand(part, worker int) {
+	own := &j.bands[part]
+	p := j.pool
+	for {
+		if i, ok := own.take(); ok {
+			r := j.chunkRange(int(i))
+			j.body(worker, r.Lo, r.Hi)
+			continue
+		}
+		stolen := false
+		nb := len(j.bands)
+		off := int(p.rand(worker) % uint64(nb))
+		for k := 0; k < nb; k++ {
+			victim := &j.bands[(part+off+k)%nb]
+			if victim == own {
+				continue
+			}
+			if lo, hi, ok := victim.stealHalf(); ok {
+				own.state.Store(packBand(lo, hi))
+				p.noteBandSteal(worker)
+				stolen = true
+				break
+			}
+		}
+		if !stolen {
+			return
+		}
+	}
+}

@@ -7,13 +7,22 @@
 //   - Stealing: TBB-style work stealing. Every worker owns a band of
 //     chunks; idle workers steal half of a victim's remaining band.
 //   - CentralQueue: HPX-style task futures over a shared queue. Every
-//     chunk is an individual task popped from one central queue, which
+//     chunk is an individual task popped from one central injector, which
 //     maximizes load balance but pays a per-task scheduling cost.
 //
-// All pools share one substrate: persistent worker goroutines draining a
-// LIFO task queue. Callers of ForChunks and Do help execute pending tasks
-// while they wait, which makes nested parallelism (sort's merge recursion,
-// scan's pass structure) deadlock-free on a fixed-size pool.
+// All strategies share one substrate: persistent workers, each owning a
+// Chase–Lev work-stealing deque (deque.go) plus a small inbox for pinned
+// submissions, a shared injector deque for external submissions, randomized
+// victim selection, and a spin-then-park idle protocol — so the hot dispatch
+// path never takes a mutex, unlike the seed's single mutex+cond LIFO queue,
+// which made every strategy degenerate into the central-queue anti-pattern
+// the paper identifies as the scalability killer. Loop chunks are scheduled
+// as (job, index) words rather than per-chunk closures, so steady-state
+// ForChunks dispatch does not allocate (job.go).
+//
+// Callers of ForChunks and Do help execute pending tasks while they wait,
+// which makes nested parallelism (sort's merge recursion, scan's pass
+// structure) deadlock-free on a fixed-size pool.
 package native
 
 import (
@@ -50,56 +59,32 @@ func (s Strategy) String() string {
 	}
 }
 
-// task is one schedulable unit. Completion is reported to its group.
-type task struct {
-	fn func(worker int)
-	g  *group
-}
-
-// group tracks the completion of a set of sibling tasks and captures the
-// first panic raised by any of them.
-type group struct {
-	pending  atomic.Int64
-	done     chan struct{}
-	panicOne sync.Once
-	panicVal any
-}
-
-func newGroup(n int) *group {
-	g := &group{done: make(chan struct{})}
-	g.pending.Store(int64(n))
-	return g
-}
-
-func (g *group) finish(recovered any) {
-	if recovered != nil {
-		g.panicOne.Do(func() { g.panicVal = recovered })
-	}
-	if g.pending.Add(-1) == 0 {
-		close(g.done)
-	}
-}
-
-// rethrow re-raises the first captured panic, if any. It must only be
-// called after the group's done channel is closed.
-func (g *group) rethrow() {
-	if g.panicVal != nil {
-		panic(g.panicVal)
-	}
-}
-
 // Pool is a fixed-size goroutine pool implementing exec.Pool with a
-// configurable scheduling strategy.
+// configurable scheduling strategy over per-worker work-stealing deques.
 type Pool struct {
 	strategy Strategy
-	workers  int
+	ws       []*worker
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []task // LIFO
-	closed bool
+	// injector is the shared submission deque: Do thunks, central-queue
+	// chunk tasks. Pushes are serialized by injMu (submission path only);
+	// consumption is the lock-free steal path.
+	injector wsDeque
+	injMu    sync.Mutex
 
-	wg sync.WaitGroup
+	idle      atomic.Int32 // number of workers parked on their semaphore
+	closed    atomic.Bool
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+	callerRng atomic.Uint64
+	stats     []schedCounters // one per worker + one shared caller slot
+
+	// Job table: jobs live permanently in their slot and are recycled via
+	// the freelist, so a task word's slot half always resolves through
+	// jobTab. The table is grow-only and cells are written once, so stale
+	// slice headers held by readers stay valid for every slot they cover.
+	jobMu  sync.Mutex
+	jobTab atomic.Pointer[[]*job]
+	free   []int32
 }
 
 var _ exec.Pool = (*Pool)(nil)
@@ -111,113 +96,97 @@ func New(workers int, strategy Strategy) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{strategy: strategy, workers: workers}
-	p.cond = sync.NewCond(&p.mu)
+	p := &Pool{strategy: strategy, closeCh: make(chan struct{})}
+	p.injector.init()
+	p.stats = make([]schedCounters, workers+1)
+	p.callerRng.Store(0x9E3779B97F4A7C15)
+	p.ws = make([]*worker, workers)
+	for i := range p.ws {
+		w := &worker{park: make(chan struct{}, 1), rng: splitmix64(uint64(i) + 1)}
+		w.dq.init()
+		p.ws[i] = w
+	}
+	tab := make([]*job, 0, 16)
+	p.jobTab.Store(&tab)
 	p.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go p.workerLoop(w)
+	for i := range p.ws {
+		go p.workerLoop(i)
 	}
 	return p
 }
 
+// splitmix64 seeds the per-worker xorshift generators.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // Workers returns the number of worker goroutines.
-func (p *Pool) Workers() int { return p.workers }
+func (p *Pool) Workers() int { return len(p.ws) }
 
 // Strategy returns the pool's scheduling strategy.
 func (p *Pool) Strategy() Strategy { return p.strategy }
 
+// Stats returns the accumulated scheduling counters of the pool.
+func (p *Pool) Stats() SchedStats {
+	var s SchedStats
+	for i := range p.stats {
+		c := &p.stats[i]
+		s.Steals += c.steals.Load()
+		s.Parks += c.parks.Load()
+		s.Wakeups += c.wakeups.Load()
+		s.EmptySpins += c.emptySpins.Load()
+	}
+	return s
+}
+
 // Close shuts down the worker goroutines. Pending tasks are drained before
 // the workers exit. The pool must not be used after Close.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.closed.Store(true)
+	close(p.closeCh)
 	p.wg.Wait()
 }
 
-func (p *Pool) workerLoop(w int) {
-	defer p.wg.Done()
-	for {
-		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
-			p.cond.Wait()
-		}
-		if len(p.queue) == 0 && p.closed {
-			p.mu.Unlock()
-			return
-		}
-		t := p.popLocked()
-		p.mu.Unlock()
-		runTask(t, w)
+// acquireJob takes a recycled job descriptor from the freelist, growing the
+// job table when none is free. The mutex is on the per-call submission path,
+// never on the per-chunk dispatch path.
+func (p *Pool) acquireJob() *job {
+	p.jobMu.Lock()
+	if n := len(p.free); n > 0 {
+		slot := p.free[n-1]
+		p.free = p.free[:n-1]
+		j := (*p.jobTab.Load())[slot]
+		p.jobMu.Unlock()
+		return j
 	}
+	tab := *p.jobTab.Load()
+	j := &job{pool: p, slot: int32(len(tab))}
+	j.wcond.L = &j.wmu
+	// In-place append: cells beyond the old length are invisible to stale
+	// readers, and existing cells never change, so publishing the longer
+	// header is safe.
+	ntab := append(tab, j)
+	p.jobTab.Store(&ntab)
+	p.jobMu.Unlock()
+	return j
 }
 
-func (p *Pool) popLocked() task {
-	last := len(p.queue) - 1
-	t := p.queue[last]
-	p.queue[last] = task{}
-	p.queue = p.queue[:last]
-	return t
-}
-
-func (p *Pool) tryPop() (task, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.queue) == 0 {
-		return task{}, false
-	}
-	return p.popLocked(), true
-}
-
-func (p *Pool) push(ts ...task) {
-	p.mu.Lock()
-	p.queue = append(p.queue, ts...)
-	if len(ts) > 1 {
-		p.cond.Broadcast()
-	} else {
-		p.cond.Signal()
-	}
-	p.mu.Unlock()
-}
-
-// runTask executes t and reports completion (and any panic) to its group.
-func runTask(t task, worker int) {
-	defer func() { t.g.finish(recover()) }()
-	t.fn(worker)
-}
-
-// help blocks until the group completes, executing pending tasks from the
-// pool queue in the meantime. The caller participates with the pseudo-worker
-// index workers (i.e. one past the last pool worker). It does not rethrow
-// captured panics; use wait for that.
-func (p *Pool) help(g *group) {
-	callerID := p.workers
-	for {
-		select {
-		case <-g.done:
-			return
-		default:
-		}
-		if t, ok := p.tryPop(); ok {
-			runTask(t, callerID)
-			continue
-		}
-		<-g.done
-		return
-	}
-}
-
-// wait blocks until the group completes (helping with queued tasks) and
-// re-raises the first panic captured by any task in the group.
-func (p *Pool) wait(g *group) {
-	p.help(g)
-	g.rethrow()
+// releaseJob returns a completed job's slot to the freelist, dropping body
+// references so the pool does not retain caller closures.
+func (p *Pool) releaseJob(j *job) {
+	j.body = nil
+	j.fns = j.fns[:0]
+	p.jobMu.Lock()
+	p.free = append(p.free, j.slot)
+	p.jobMu.Unlock()
 }
 
 // Do runs the thunks, possibly concurrently, and returns after all have
 // completed. The calling goroutine executes at least one thunk itself and
-// helps drain the queue while waiting, so nested Do calls cannot deadlock.
+// helps drain the pool while waiting, so nested Do calls cannot deadlock.
 func (p *Pool) Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -226,13 +195,16 @@ func (p *Pool) Do(fns ...func()) {
 		fns[0]()
 		return
 	}
-	g := newGroup(len(fns) - 1)
-	ts := make([]task, 0, len(fns)-1)
-	for _, fn := range fns[1:] {
-		fn := fn
-		ts = append(ts, task{fn: func(int) { fn() }, g: g})
+	j := p.acquireJob()
+	defer p.releaseJob(j)
+	j.fns = append(j.fns[:0], fns...)
+	j.reset(kindThunk, len(fns)-1)
+	p.injMu.Lock()
+	for i := 1; i < len(fns); i++ {
+		p.injector.push(encodeTask(j.slot, int32(i)))
 	}
-	p.push(ts...)
+	p.injMu.Unlock()
+	p.wake(len(fns) - 1)
 	// Work-first: run the first thunk inline, then help with the rest.
 	// A panic from the inline thunk is held until the siblings finish, so
 	// no sibling is left running against unwound caller state; the inline
@@ -242,11 +214,11 @@ func (p *Pool) Do(fns ...func()) {
 		defer func() { inlinePanic = recover() }()
 		fns[0]()
 	}()
-	p.help(g)
+	p.wait(j)
 	if inlinePanic != nil {
 		panic(inlinePanic)
 	}
-	g.rethrow()
+	j.rethrow()
 }
 
 // ForChunks partitions [0, n) according to g and schedules the chunks per
@@ -257,147 +229,96 @@ func (p *Pool) ForChunks(n int, g exec.Grain, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	chunks := g.Partition(n, p.workers)
-	if len(chunks) == 1 {
-		body(p.workers, chunks[0].Lo, chunks[0].Hi)
+	P := len(p.ws)
+	chunks := g.ChunkCount(n, P)
+	if chunks <= 1 {
+		body(P, 0, n)
 		return
 	}
+	j := p.acquireJob()
+	defer p.releaseJob(j)
+	j.body = body
+	j.n = n
+	j.chunks = chunks
+	j.grain = g
+	j.gw = P
+	j.guided = g.IsGuided()
+	j.base = n / chunks
+	j.rem = n % chunks
+
 	switch p.strategy {
-	case StrategyForkJoin:
-		p.forChunksStatic(chunks, body)
 	case StrategyStealing:
-		p.forChunksStealing(chunks, body)
+		p.submitBands(j, chunks)
 	case StrategyCentralQueue:
-		p.forChunksQueue(chunks, body)
-	default:
-		p.forChunksStatic(chunks, body)
+		p.submitQueue(j, chunks)
+	default: // StrategyForkJoin
+		p.submitStatic(j, chunks)
 	}
+	p.wait(j)
+	j.rethrow()
 }
 
-// forChunksStatic assigns chunk i to worker i mod P, like OpenMP
-// schedule(static).
-func (p *Pool) forChunksStatic(chunks []exec.Range, body func(worker, lo, hi int)) {
-	parts := p.workers
-	if parts > len(chunks) {
-		parts = len(chunks)
+// submitStatic schedules min(P, chunks) parts, part i executing chunks
+// i, i+parts, i+2*parts, ... like OpenMP schedule(static). Parts are pinned
+// to their home worker's inbox; they migrate only if an idle thief raids the
+// inbox of a busy owner.
+func (p *Pool) submitStatic(j *job, chunks int) {
+	parts := len(p.ws)
+	if parts > chunks {
+		parts = chunks
 	}
-	grp := newGroup(parts)
+	j.parts = parts
+	j.reset(kindStatic, parts)
 	for part := 0; part < parts; part++ {
-		part := part
-		p.push(task{g: grp, fn: func(worker int) {
-			for i := part; i < len(chunks); i += parts {
-				body(worker, chunks[i].Lo, chunks[i].Hi)
-			}
-		}})
+		p.ws[part].inbox.put(encodeTask(j.slot, int32(part)))
 	}
-	p.wait(grp)
+	p.wake(parts)
 }
 
-// band is a shared range of chunk indices owned by one worker. The owner
-// takes chunks from the front; thieves split off the back half.
-type band struct {
-	mu     sync.Mutex
-	lo, hi int // chunk indices [lo, hi)
-}
-
-// take removes the front chunk index, or returns ok=false if empty.
-func (b *band) take() (int, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.lo >= b.hi {
-		return 0, false
+// submitBands gives each of min(P, chunks) parts a contiguous band of chunk
+// indices pinned to its home worker; exhausted parts steal half of a
+// sibling band (job.runBand).
+func (p *Pool) submitBands(j *job, chunks int) {
+	parts := len(p.ws)
+	if parts > chunks {
+		parts = chunks
 	}
-	i := b.lo
-	b.lo++
-	return i, true
-}
-
-// stealHalf removes the back half of the band, returning the stolen chunk
-// index range.
-func (b *band) stealHalf() (lo, hi int, ok bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	n := b.hi - b.lo
-	if n < 2 {
-		// Leave single remaining chunks to their owner; stealing them
-		// buys nothing and doubles the synchronization.
-		return 0, 0, false
+	j.parts = parts
+	if cap(j.bands) < parts {
+		j.bands = make([]chunkBand, parts)
+	} else {
+		j.bands = j.bands[:parts]
 	}
-	take := n / 2
-	lo, hi = b.hi-take, b.hi
-	b.hi = lo
-	return lo, hi, true
-}
-
-// forChunksStealing gives each worker-part a contiguous band of chunk
-// indices; exhausted parts steal half of the fullest sibling band.
-func (p *Pool) forChunksStealing(chunks []exec.Range, body func(worker, lo, hi int)) {
-	parts := p.workers
-	if parts > len(chunks) {
-		parts = len(chunks)
-	}
-	bands := make([]*band, parts)
-	per := len(chunks) / parts
-	rem := len(chunks) % parts
+	per := chunks / parts
+	rem := chunks % parts
 	lo := 0
-	for i := range bands {
+	for i := 0; i < parts; i++ {
 		hi := lo + per
 		if i < rem {
 			hi++
 		}
-		bands[i] = &band{lo: lo, hi: hi}
+		j.bands[i].state.Store(packBand(int32(lo), int32(hi)))
 		lo = hi
 	}
-	grp := newGroup(parts)
+	j.reset(kindBand, parts)
 	for part := 0; part < parts; part++ {
-		part := part
-		p.push(task{g: grp, fn: func(worker int) {
-			p.runBand(part, bands, chunks, worker, body)
-		}})
+		p.ws[part].inbox.put(encodeTask(j.slot, int32(part)))
 	}
-	p.wait(grp)
+	p.wake(parts)
 }
 
-// runBand drains the part's own band, then steals from siblings until no
-// band has stealable work left.
-func (p *Pool) runBand(part int, bands []*band, chunks []exec.Range, worker int, body func(worker, lo, hi int)) {
-	own := bands[part]
-	for {
-		if i, ok := own.take(); ok {
-			body(worker, chunks[i].Lo, chunks[i].Hi)
-			continue
-		}
-		// Steal the biggest half available among the victims.
-		stolen := false
-		for off := 1; off < len(bands); off++ {
-			victim := bands[(part+off)%len(bands)]
-			if lo, hi, ok := victim.stealHalf(); ok {
-				own.mu.Lock()
-				own.lo, own.hi = lo, hi
-				own.mu.Unlock()
-				stolen = true
-				break
-			}
-		}
-		if !stolen {
-			return
-		}
+// submitQueue pushes every chunk as an individual task word onto the shared
+// injector deque, in the style of HPX's per-iteration-range futures. Words
+// are pushed in ascending order and the injector is consumed from the top,
+// preserving the front-to-back sweep of the other strategies; every chunk
+// dispatch is one CAS on the shared injector — the central contention point
+// whose cost the paper measures.
+func (p *Pool) submitQueue(j *job, chunks int) {
+	j.reset(kindChunk, chunks)
+	p.injMu.Lock()
+	for i := 0; i < chunks; i++ {
+		p.injector.push(encodeTask(j.slot, int32(i)))
 	}
-}
-
-// forChunksQueue pushes every chunk as an individual task onto the central
-// queue, in the style of HPX's per-iteration-range futures.
-func (p *Pool) forChunksQueue(chunks []exec.Range, body func(worker, lo, hi int)) {
-	grp := newGroup(len(chunks))
-	ts := make([]task, 0, len(chunks))
-	// Push in reverse so the LIFO queue pops chunks in ascending order,
-	// preserving the front-to-back sweep that the other strategies have.
-	for i := len(chunks) - 1; i >= 0; i-- {
-		c := chunks[i]
-		ts = append(ts, task{g: grp, fn: func(worker int) {
-			body(worker, c.Lo, c.Hi)
-		}})
-	}
-	p.push(ts...)
-	p.wait(grp)
+	p.injMu.Unlock()
+	p.wake(chunks)
 }

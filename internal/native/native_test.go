@@ -218,13 +218,16 @@ func TestStealingBalancesSkewedWork(t *testing.T) {
 }
 
 func TestBandStealHalf(t *testing.T) {
-	b := &band{lo: 0, hi: 10}
+	var b chunkBand
+	b.state.Store(packBand(0, 10))
 	lo, hi, ok := b.stealHalf()
-	if !ok || hi-lo != 5 || b.hi != 5 {
-		t.Fatalf("stealHalf: lo=%d hi=%d ok=%v band.hi=%d", lo, hi, ok, b.hi)
+	_, bhi := unpackBand(b.state.Load())
+	if !ok || hi-lo != 5 || bhi != 5 {
+		t.Fatalf("stealHalf: lo=%d hi=%d ok=%v band.hi=%d", lo, hi, ok, bhi)
 	}
 	// A band with one chunk is not stealable.
-	b2 := &band{lo: 3, hi: 4}
+	var b2 chunkBand
+	b2.state.Store(packBand(3, 4))
 	if _, _, ok := b2.stealHalf(); ok {
 		t.Fatal("stole from single-chunk band")
 	}

@@ -1,0 +1,390 @@
+package native
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pstlbench/internal/counters"
+)
+
+// SchedStats is a snapshot of the pool's scheduling counters, mirroring the
+// scheduler fields of counters.Set so native runs and the simulator report
+// comparable statistics.
+type SchedStats struct {
+	// Steals counts work acquired from somewhere other than the worker's
+	// own queues: deque steals, injector pops, inbox raids, and band
+	// half-steals inside stealing loops.
+	Steals uint64
+	// Parks counts blocking events: workers parking on their semaphore and
+	// callers parking on a job's completion after their spin budget.
+	Parks uint64
+	// Wakeups counts park tokens delivered to sleeping workers.
+	Wakeups uint64
+	// EmptySpins counts scavenging rounds that found every queue empty.
+	EmptySpins uint64
+}
+
+// Add accumulates o into s.
+func (s *SchedStats) Add(o SchedStats) {
+	s.Steals += o.Steals
+	s.Parks += o.Parks
+	s.Wakeups += o.Wakeups
+	s.EmptySpins += o.EmptySpins
+}
+
+// Sub returns s - o, for differencing two snapshots around a region of
+// interest (the native analogue of the Likwid marker bracketing).
+func (s SchedStats) Sub(o SchedStats) SchedStats {
+	return SchedStats{
+		Steals:     s.Steals - o.Steals,
+		Parks:      s.Parks - o.Parks,
+		Wakeups:    s.Wakeups - o.Wakeups,
+		EmptySpins: s.EmptySpins - o.EmptySpins,
+	}
+}
+
+// Counters maps the stats onto the scheduler fields of a counters.Set, so
+// native runs and simulated runs (simexec) report through the same type.
+func (s SchedStats) Counters() counters.Set {
+	return counters.Set{
+		Steals:     float64(s.Steals),
+		Parks:      float64(s.Parks),
+		Wakeups:    float64(s.Wakeups),
+		EmptySpins: float64(s.EmptySpins),
+	}
+}
+
+// schedCounters is one cache-line-padded bundle of counters. Workers own
+// one each (index = worker id); callers share a trailing bundle.
+type schedCounters struct {
+	steals     atomic.Uint64
+	parks      atomic.Uint64
+	wakeups    atomic.Uint64
+	emptySpins atomic.Uint64
+	_          [4]uint64 // pad to a cache line to avoid false sharing
+}
+
+// worker is the per-worker scheduling state.
+type worker struct {
+	dq     wsDeque
+	inbox  inbox
+	parked atomic.Bool
+	park   chan struct{} // capacity 1; a token is only sent after unparking CAS
+	rng    uint64        // xorshift state, owner goroutine only
+}
+
+// inbox is a small mutex-guarded MPSC mailbox for task words submitted to a
+// specific worker (pinned fork-join parts, initial stealing bands). The
+// owner drains it into its deque; thieves may raid it as a last resort so a
+// worker blocked in nested waiting cannot strand pinned work. The mutex is
+// only on the submission path (per ForChunks call, not per chunk).
+type inbox struct {
+	mu   sync.Mutex
+	n    atomic.Int32
+	buf  []uint64
+	head int
+}
+
+func (in *inbox) put(w uint64) {
+	in.mu.Lock()
+	if in.head == len(in.buf) {
+		in.buf = in.buf[:0]
+		in.head = 0
+	}
+	in.buf = append(in.buf, w)
+	in.n.Add(1)
+	in.mu.Unlock()
+}
+
+func (in *inbox) take() (uint64, bool) {
+	if in.n.Load() == 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	if in.head == len(in.buf) {
+		in.mu.Unlock()
+		return 0, false
+	}
+	w := in.buf[in.head]
+	in.head++
+	in.n.Add(-1)
+	in.mu.Unlock()
+	return w, true
+}
+
+// spinRounds is the number of full empty scavenging sweeps a worker or
+// waiter performs (yielding between sweeps) before parking. Each sweep
+// already polls every queue in the pool, so a small budget suffices; long
+// budgets burn the CPU the very workers we are waiting for would use.
+const spinRounds = 4
+
+// rand returns a pseudo-random value for victim selection. Worker slots use
+// an owner-local xorshift; the caller pseudo-worker (id == len(workers))
+// shares an atomic splitmix counter.
+func (p *Pool) rand(worker int) uint64 {
+	if worker < len(p.ws) {
+		x := p.ws[worker].rng
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.ws[worker].rng = x
+		return x
+	}
+	return p.callerRng.Add(0x9E3779B97F4A7C15)
+}
+
+func (p *Pool) counters(worker int) *schedCounters {
+	if worker < len(p.ws) {
+		return &p.stats[worker]
+	}
+	return &p.stats[len(p.ws)]
+}
+
+func (p *Pool) noteBandSteal(worker int) {
+	p.counters(worker).steals.Add(1)
+}
+
+// runWord decodes and executes one task word. The job table load is ordered
+// after the word load that produced w, and the slot was populated before the
+// word was published, so the loaded table always covers the slot.
+func (p *Pool) runWord(w uint64, worker int) {
+	slot, arg := decodeTask(w)
+	tab := *p.jobTab.Load()
+	tab[slot].runTask(arg, worker)
+}
+
+// workerLoop is the body of each worker goroutine: pop own deque, drain own
+// inbox, steal, and spin-then-park when the pool is idle.
+func (p *Pool) workerLoop(id int) {
+	defer p.wg.Done()
+	w := p.ws[id]
+	c := &p.stats[id]
+	idleSweeps := 0
+	for {
+		if word, ok := w.dq.pop(); ok {
+			idleSweeps = 0
+			p.runWord(word, id)
+			continue
+		}
+		if moved := w.inbox.drainTo(&w.dq); moved {
+			continue
+		}
+		if word, ok := p.stealWork(id); ok {
+			idleSweeps = 0
+			c.steals.Add(1)
+			// Work-conserving cascade: if more work is visible, pull a
+			// sibling out of park to share it.
+			if p.idle.Load() > 0 && p.hasWork() {
+				p.wakeOne()
+			}
+			p.runWord(word, id)
+			continue
+		}
+		c.emptySpins.Add(1)
+		idleSweeps++
+		if idleSweeps < spinRounds {
+			runtime.Gosched()
+			continue
+		}
+		idleSweeps = 0
+		if p.parkWorker(w, c) {
+			return // closed and drained
+		}
+	}
+}
+
+// drainTo moves every queued inbox word into the owner's deque, oldest
+// first so FIFO submission order is preserved under LIFO popping of the
+// most recent. Returns whether anything moved.
+func (in *inbox) drainTo(d *wsDeque) bool {
+	if in.n.Load() == 0 {
+		return false
+	}
+	in.mu.Lock()
+	moved := in.head < len(in.buf)
+	for ; in.head < len(in.buf); in.head++ {
+		d.push(in.buf[in.head])
+		in.n.Add(-1)
+	}
+	in.mu.Unlock()
+	return moved
+}
+
+// stealWork scans the other workers' deques from a random start, then the
+// shared injector, then (as a last resort) the other workers' inboxes.
+func (p *Pool) stealWork(id int) (uint64, bool) {
+	n := len(p.ws)
+	start := int(p.rand(id) % uint64(n))
+	for retried := true; retried; {
+		retried = false
+		for k := 0; k < n; k++ {
+			v := (start + k) % n
+			if v == id {
+				continue
+			}
+			w, ok, retry := p.ws[v].dq.steal()
+			if ok {
+				return w, true
+			}
+			retried = retried || retry
+		}
+		if w, ok, retry := p.injector.steal(); ok {
+			return w, true
+		} else if retry {
+			retried = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == id {
+			continue
+		}
+		if w, ok := p.ws[v].inbox.take(); ok {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// hasWork reports whether any queue in the pool holds a task. Used for the
+// park-time recheck and the wake cascade; racy but conservative callers
+// tolerate both outcomes.
+func (p *Pool) hasWork() bool {
+	if p.injector.size() > 0 {
+		return true
+	}
+	for _, w := range p.ws {
+		if w.dq.size() > 0 || w.inbox.n.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// parkWorker blocks the worker until new work is published or the pool
+// closes. Returns true when the worker should exit. The announce-then-
+// recheck order pairs with publish-then-wake in the submitters: if the
+// recheck misses a concurrent push, the pusher's idle-count read is ordered
+// after the push and sees this worker's announcement, so a token arrives.
+func (p *Pool) parkWorker(w *worker, c *schedCounters) (exit bool) {
+	w.parked.Store(true)
+	p.idle.Add(1)
+	if p.hasWork() || p.closed.Load() {
+		if w.parked.CompareAndSwap(true, false) {
+			p.idle.Add(-1)
+		} else {
+			// A waker claimed us between the recheck and the CAS; it has
+			// already delivered a token and fixed the idle count.
+			<-w.park
+		}
+		if p.closed.Load() && !p.hasWork() {
+			return true
+		}
+		return false
+	}
+	c.parks.Add(1)
+	select {
+	case <-w.park:
+		return false
+	case <-p.closeCh:
+		if w.parked.CompareAndSwap(true, false) {
+			p.idle.Add(-1)
+		} else {
+			<-w.park
+		}
+		return !p.hasWork()
+	}
+}
+
+// wakeOne delivers a park token to one parked worker, if any.
+func (p *Pool) wakeOne() {
+	if p.idle.Load() == 0 {
+		return
+	}
+	for _, w := range p.ws {
+		if w.parked.CompareAndSwap(true, false) {
+			p.idle.Add(-1)
+			p.stats[len(p.ws)].wakeups.Add(1)
+			w.park <- struct{}{}
+			return
+		}
+	}
+}
+
+// wake delivers up to n park tokens. Submitters call it after publishing n
+// tasks so a batch wakes enough workers to drain it in parallel.
+func (p *Pool) wake(n int) {
+	for i := 0; i < n && p.idle.Load() > 0; i++ {
+		p.wakeOne()
+	}
+}
+
+// wait blocks until the job completes, scavenging queued tasks from the
+// whole pool in the meantime (the caller participates with pseudo-worker id
+// len(ws)). It does not rethrow captured panics; callers do, so Do can give
+// its inline thunk's panic precedence. After a bounded number of empty
+// sweeps the caller parks on the job's completion signal instead of
+// busy-spinning: every still-pending task is then either queued (some
+// unparked worker saw it or a token is in flight) or already running, so
+// progress does not depend on this goroutine.
+func (p *Pool) wait(j *job) {
+	callerID := len(p.ws)
+	c := &p.stats[callerID]
+	sweeps := 0
+	for !j.isDone() {
+		if word, ok := p.scavenge(callerID); ok {
+			sweeps = 0
+			p.runWord(word, callerID)
+			continue
+		}
+		c.emptySpins.Add(1)
+		sweeps++
+		if sweeps < spinRounds {
+			runtime.Gosched()
+			continue
+		}
+		c.parks.Add(1)
+		j.sleep()
+		break
+	}
+}
+
+// scavenge is the caller-side steal path: injector first (external
+// submissions), then worker deques and inboxes.
+func (p *Pool) scavenge(callerID int) (uint64, bool) {
+	for {
+		w, ok, retry := p.injector.steal()
+		if ok {
+			c := p.counters(callerID)
+			c.steals.Add(1)
+			return w, true
+		}
+		if !retry {
+			break
+		}
+	}
+	n := len(p.ws)
+	start := 0
+	if n > 0 {
+		start = int(p.rand(callerID) % uint64(n))
+	}
+	for retried := true; retried; {
+		retried = false
+		for k := 0; k < n; k++ {
+			w, ok, retry := p.ws[(start+k)%n].dq.steal()
+			if ok {
+				p.counters(callerID).steals.Add(1)
+				return w, true
+			}
+			retried = retried || retry
+		}
+	}
+	for k := 0; k < n; k++ {
+		if w, ok := p.ws[(start+k)%n].inbox.take(); ok {
+			p.counters(callerID).steals.Add(1)
+			return w, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,54 @@
+package simexec
+
+import (
+	"testing"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+)
+
+// TestSchedulerCountersModeled verifies the modeled scheduling statistics
+// mirror each strategy's character: a greedy queue/stealing backend with a
+// fine decomposition migrates tasks off their static home (steals), the
+// static fork-join backend never does, and every parallel run dispatches
+// tasks (wakeups).
+func TestSchedulerCountersModeled(t *testing.T) {
+	m := machine.MachA()
+	run := func(b *backend.Backend) (s, w, p float64) {
+		r := Run(Config{
+			Machine: m, Backend: b,
+			Workload: wl(backend.OpForEach, 1<<24),
+			Threads:  16, Alloc: allocsim.FirstTouch,
+		})
+		return r.Counters.Steals, r.Counters.Wakeups, r.Counters.Parks
+	}
+
+	sSteal, wSteal, _ := run(backend.GCCTBB())
+	if wSteal == 0 {
+		t.Fatal("TBB run recorded no task dispatches")
+	}
+	if sSteal == 0 {
+		t.Errorf("TBB (work stealing) run recorded no steals")
+	}
+
+	sStatic, wStatic, _ := run(backend.GCCGNU())
+	if wStatic == 0 {
+		t.Fatal("GNU run recorded no task dispatches")
+	}
+	if sStatic != 0 {
+		t.Errorf("static fork-join run recorded %v steals, want 0", sStatic)
+	}
+
+	sHPX, wHPX, _ := run(backend.GCCHPX())
+	// Every central-queue dispatch comes off the shared injector, so the
+	// modeled steal count equals the dispatch count.
+	if wHPX == 0 || sHPX != wHPX {
+		t.Errorf("HPX central-queue run: steals=%v wakeups=%v, want equal and > 0", sHPX, wHPX)
+	}
+	// The fine HPX decomposition dispatches far more tasks than the
+	// coarser TBB one — the central-queue overhead axis of Fig. 3.
+	if wHPX <= wSteal {
+		t.Errorf("HPX dispatches (%v) not above TBB (%v)", wHPX, wSteal)
+	}
+}

@@ -263,7 +263,11 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 
 	// assign hands pending tasks to free cores according to the
 	// backend's strategy. Static strategy binds task i to core i mod P;
-	// the greedy strategies hand the next task to any free core.
+	// the greedy strategies hand the next task to any free core. Alongside
+	// the schedule itself, assign models the scheduler counters the native
+	// pools report (Pool.Stats): every dispatch is a wakeup, a dispatch
+	// sourced outside the core's own queues is a steal, and a free core
+	// that finds nothing assignable records an empty spin.
 	assign := func(now float64) {
 		for c := 0; c < threads && next < len(tasks); c++ {
 			if coreTask[c] != nil || coreFreeAt[c] > now {
@@ -284,6 +288,7 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 					}
 				}
 				if ti < 0 {
+					ctr.EmptySpins++
 					continue
 				}
 			default:
@@ -295,9 +300,22 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 					}
 				}
 				if ti < 0 {
+					ctr.EmptySpins++
 					return
 				}
+				// Mirror what the native pools count as a steal. A
+				// central-queue worker acquires every task from the shared
+				// injector, so each dispatch is a steal. A band-stealing
+				// worker owns the initial block partition of the chunk
+				// space; a dispatch outside the core's own block means the
+				// task migrated off its home.
+				if b.Strategy == backend.StrategyQueue {
+					ctr.Steals++
+				} else if tpc := (len(tasks) + threads - 1) / threads; ti/tpc != c {
+					ctr.Steals++
+				}
 			}
+			ctr.Wakeups++
 			t := tasks[ti]
 			start := now + b.TaskCost
 			if b.Strategy == backend.StrategyQueue {
@@ -404,6 +422,11 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 				coreTask[t.core] = nil
 				coreFreeAt[t.core] = tNext
 				remainingTasks--
+				if next >= len(tasks) && remainingTasks > 0 {
+					// Nothing left to hand out: the core parks for the
+					// rest of the phase while stragglers finish.
+					ctr.Parks++
+				}
 				if trace != nil {
 					*trace = append(*trace, TaskSpan{
 						Phase: phaseIdx, Task: t.idx, Core: t.core,
