@@ -60,6 +60,7 @@ func BenchmarkTab7BinarySize(b *testing.B)     { runExperiment(b, "tab7") }
 func BenchmarkFig8GPUForEach(b *testing.B)     { runExperiment(b, "fig8") }
 func BenchmarkFig9GPUReduce(b *testing.B)      { runExperiment(b, "fig9") }
 func BenchmarkExtARM(b *testing.B)             { runExperiment(b, "ext-arm") }
+func BenchmarkExtNUMASteal(b *testing.B)       { runExperiment(b, "ext-numasteal") }
 func BenchmarkAblGrain(b *testing.B)           { runExperiment(b, "abl-grain") }
 func BenchmarkAblContention(b *testing.B)      { runExperiment(b, "abl-contention") }
 func BenchmarkAblCheapFutures(b *testing.B)    { runExperiment(b, "abl-hpx") }
@@ -206,6 +207,57 @@ func BenchmarkSchedulerOverhead(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkNUMASteal exercises the tiered victim scan against the flat one
+// on an imbalanced workload that forces stealing: the first chunk band
+// carries extra work, so every other worker drains its own deque and goes
+// hunting. Sub-benchmarks split the workers over 1 (flat), 2 and 4 virtual
+// NUMA nodes; the reported remote-steals/op and local-steals/op show the
+// tiered scan keeping steals on-node while the flat pool has no notion of
+// distance at all.
+func BenchmarkNUMASteal(b *testing.B) {
+	const n = 1 << 16
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8 // keep the node splits non-degenerate on small hosts
+	}
+	for _, nodes := range []int{1, 2, 4} {
+		nodes := nodes
+		b.Run(fmt.Sprintf("nodes%d/w%d", nodes, workers), func(b *testing.B) {
+			topo := native.Topology{}
+			if nodes > 1 {
+				topo = native.SplitTopology(workers, nodes)
+			}
+			pool := native.NewWithTopology(workers, native.StrategyStealing, topo)
+			defer pool.Close()
+			spin := func(k int) {
+				acc := 1.0
+				for i := 0; i < k; i++ {
+					acc = acc*1.0000001 + 1
+				}
+				if acc < 0 {
+					b.Fatal("unreachable")
+				}
+			}
+			body := func(worker, lo, hi int) {
+				if lo == 0 {
+					spin(4096) // skew: band 0 is the slow one, everyone steals
+				}
+				spin(hi - lo)
+			}
+			before := pool.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.ForChunks(n, exec.Fine, body)
+			}
+			b.StopTimer()
+			d := pool.Stats().Sub(before)
+			b.ReportMetric(float64(d.LocalSteals)/float64(b.N), "local-steals/op")
+			b.ReportMetric(float64(d.RemoteSteals)/float64(b.N), "remote-steals/op")
+		})
 	}
 }
 

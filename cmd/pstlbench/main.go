@@ -50,6 +50,7 @@ func main() {
 		threads  = flag.Int("threads", 0, "thread count (0 = all cores of the machine / GOMAXPROCS)")
 		alloc    = flag.String("alloc", "first-touch", "allocation strategy: default or first-touch (sim mode)")
 		strategy = flag.String("strategy", "stealing", "native scheduling strategy: seq, forkjoin, stealing, centralqueue")
+		numaSteal = flag.Bool("numa-steal", false, "NUMA-aware steal order: scan same-node victims before remote ones (sim: stealing backends; native: workers pinned to the -machine topology)")
 		workers  = flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
 		minTime  = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per benchmark (native mode)")
 		filter   = flag.String("filter", "", "regexp filter on benchmark instance names")
@@ -70,9 +71,9 @@ func main() {
 	suite := &harness.Suite{}
 	switch *mode {
 	case "sim":
-		registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc)
+		registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc, *numaSteal)
 	case "native":
-		registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime)
+		registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal)
 	default:
 		fatal("unknown -mode %q", *mode)
 	}
@@ -171,7 +172,7 @@ func selectBackends(spec string) []*backend.Backend {
 // registerSim adds one benchmark per (kernel, backend) with the size sweep
 // as range arguments; each iteration reports the simulator's virtual time
 // via manual timing.
-func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string) {
+func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string, numaSteal bool) {
 	m := machine.ByName(machName)
 	if m == nil {
 		fatal("unknown machine %q", machName)
@@ -200,6 +201,7 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 			if b.IsGPU() && m.GPU == nil {
 				continue
 			}
+			b.NUMASteal = numaSteal // fresh per selectBackends call
 			k, b := k, b
 			suite.Register(harness.Benchmark{
 				Name: fmt.Sprintf("%s/%s/%s", k.Name, machName, b.ID),
@@ -224,7 +226,9 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 }
 
 // registerNative adds benchmarks running the real Go library on the host.
-func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration) {
+// With numaSteal, the pool's victim selection follows the -machine
+// topology, as if the workers were pinned to that machine's core layout.
+func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal bool) {
 	var policy core.Policy
 	switch strategyName {
 	case "seq":
@@ -242,7 +246,15 @@ func registerNative(suite *harness.Suite, strategyName string, workers int, ks [
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		pool := native.New(workers, s)
+		topo := native.Topology{}
+		if numaSteal {
+			m := machine.ByName(machName)
+			if m == nil {
+				fatal("unknown machine %q", machName)
+			}
+			topo = native.TopologyFromMachine(m, workers)
+		}
+		pool := native.NewWithTopology(workers, s, topo)
 		// The pool lives for the process lifetime; no Close needed.
 		policy = core.Par(pool).WithGrain(exec.Auto)
 	default:

@@ -194,6 +194,14 @@ type Backend struct {
 	// Grain is the chunk decomposition the runtime uses.
 	Grain exec.Grain
 
+	// NUMASteal makes StrategyStealing victim selection topology-aware:
+	// idle workers scan same-node bands before remote ones, so chunks
+	// keep executing on the node that first-touched their pages and only
+	// remote steals put data on the fabric. Off (the default) models the
+	// runtimes the paper measures, whose uniform random stealing
+	// decorrelates chunks from their pages. Other strategies ignore it.
+	NUMASteal bool
+
 	// ForkBase and ForkPerThread model the cost of opening+closing one
 	// parallel region (seconds). The total fork/join cost with p threads
 	// is ForkBase + ForkPerThread*p.

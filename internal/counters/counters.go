@@ -36,10 +36,15 @@ type Set struct {
 	// (native.Pool.Stats); simulated runs model them in simexec, so both
 	// report comparable scheduling statistics.
 
-	// Steals is the number of work items acquired away from their home
-	// worker (deque/injector steals natively; off-home task assignments in
-	// the simulator).
-	Steals float64
+	// LocalSteals is the number of work items acquired away from their
+	// home worker by a worker on the same NUMA node (deque/injector steals
+	// natively; off-home task assignments in the simulator). Pools without
+	// a topology report every steal here.
+	LocalSteals float64
+	// RemoteSteals is the number of work items dragged across NUMA nodes —
+	// the steals that move first-touched data over the fabric and drive
+	// the Table 6 knee.
+	RemoteSteals float64
 	// Parks is the number of times an idle worker blocked after its spin
 	// budget (natively) or a core went idle for the rest of a phase
 	// (simulated).
@@ -59,7 +64,8 @@ func (s *Set) Add(o Set) {
 	s.FP256 += o.FP256
 	s.DRAMBytes += o.DRAMBytes
 	s.Seconds += o.Seconds
-	s.Steals += o.Steals
+	s.LocalSteals += o.LocalSteals
+	s.RemoteSteals += o.RemoteSteals
 	s.Parks += o.Parks
 	s.Wakeups += o.Wakeups
 	s.EmptySpins += o.EmptySpins
@@ -74,18 +80,23 @@ func (s Set) Scale(f float64) Set {
 		FP256:        s.FP256 * f,
 		DRAMBytes:    s.DRAMBytes * f,
 		Seconds:      s.Seconds * f,
-		Steals:       s.Steals * f,
+		LocalSteals:  s.LocalSteals * f,
+		RemoteSteals: s.RemoteSteals * f,
 		Parks:        s.Parks * f,
 		Wakeups:      s.Wakeups * f,
 		EmptySpins:   s.EmptySpins * f,
 	}
 }
 
+// Steals returns the total steal count regardless of locality.
+func (s Set) Steals() float64 { return s.LocalSteals + s.RemoteSteals }
+
 // SchedString formats the scheduler counters in the style of the paper's
-// overhead discussion ("steals=12 parks=3 wakeups=7 empty-spins=41").
+// overhead discussion ("steals=12 (remote 4) parks=3 wakeups=7
+// empty-spins=41").
 func (s Set) SchedString() string {
-	return fmt.Sprintf("steals=%s parks=%s wakeups=%s empty-spins=%s",
-		SI(s.Steals), SI(s.Parks), SI(s.Wakeups), SI(s.EmptySpins))
+	return fmt.Sprintf("steals=%s (remote %s) parks=%s wakeups=%s empty-spins=%s",
+		SI(s.Steals()), SI(s.RemoteSteals), SI(s.Parks), SI(s.Wakeups), SI(s.EmptySpins))
 }
 
 // Flops returns the total double-precision operation count.

@@ -145,19 +145,42 @@ func (g Grain) Partition(n, workers int) []Range {
 // chunk sizes form a recurrence, so the lookup replays the i leading sizes
 // (O(i), with small guided chunk counts in practice).
 //
-// i must be in [0, ChunkCount(n, workers)).
+// i outside [0, ChunkCount(n, workers)) returns the zero Range, for the
+// linear and guided grains alike.
 func (g Grain) ChunkAt(i, n, workers int) Range {
 	if workers < 1 {
 		workers = 1
 	}
 	if g.ChunksPerWorker == guidedMarker {
+		if i < 0 || n <= 0 {
+			return Range{}
+		}
 		minChunk := g.MinChunk
 		if minChunk < 1 {
 			minChunk = 1
 		}
+		// Replay only the geometric head. Once the fixed-size tail regime
+		// starts, every remaining chunk is exactly minChunk wide (last one
+		// capped at n), so the target index — or its out-of-range-ness —
+		// resolves in O(1), mirroring guidedChunkCount. This bounds the
+		// walk by the head length instead of O(n/minChunk).
 		lo := 0
 		for k := 0; lo < n; k++ {
-			size := guidedSize(n, lo, workers, minChunk)
+			size := (n - lo) / workers
+			if size < minChunk {
+				if i < k {
+					return Range{} // head index; already handled above
+				}
+				tlo := lo + (i-k)*minChunk
+				if tlo >= n {
+					return Range{}
+				}
+				thi := tlo + minChunk
+				if thi > n {
+					thi = n
+				}
+				return Range{Lo: tlo, Hi: thi}
+			}
 			if k == i {
 				return Range{Lo: lo, Hi: lo + size}
 			}

@@ -90,6 +90,7 @@ func Index() []struct {
 		{"fig8", Fig8GPUForEach},
 		{"fig9", Fig9GPUReduce},
 		{"ext-arm", ExtensionARM},
+		{"ext-numasteal", ExtensionNUMASteal},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

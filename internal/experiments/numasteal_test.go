@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+)
+
+// TestNUMAStealKneeShift pins the acceptance criterion of the NUMA
+// steal-order extension: on Mach B, turning the policy on must cut remote
+// steals and push the 70%-efficiency knee (Table 6's metric) to a higher
+// thread count for the DRAM-bound work-stealing for_each.
+func TestNUMAStealKneeShift(t *testing.T) {
+	m := machine.MachB()
+	n := int64(1) << 27 // 1 GiB: DRAM-resident on Mach B
+	seq := seqBaseline(caseSpec{m: m, op: backend.OpForEach, n: n})
+
+	var ths []int
+	var spsOff, spsOn []float64
+	var remOff, remOn float64
+	for _, th := range m.ThreadCounts() {
+		off := runCase(caseSpec{m: m, b: backend.GCCTBB(), op: backend.OpForEach,
+			n: n, threads: th, alloc: allocsim.FirstTouch})
+		bOn := backend.GCCTBB()
+		bOn.NUMASteal = true
+		on := runCase(caseSpec{m: m, b: bOn, op: backend.OpForEach,
+			n: n, threads: th, alloc: allocsim.FirstTouch})
+		ths = append(ths, th)
+		spsOff = append(spsOff, seq/off.Seconds)
+		spsOn = append(spsOn, seq/on.Seconds)
+		remOff += off.Counters.RemoteSteals
+		remOn += on.Counters.RemoteSteals
+	}
+
+	if remOff == 0 {
+		t.Fatal("uniform stealing sweep recorded no remote steals")
+	}
+	if remOn >= remOff {
+		t.Fatalf("NUMA-aware stealing did not reduce remote steals: on=%v off=%v", remOn, remOff)
+	}
+	// The full-width run must be measurably faster with the policy on.
+	last := len(ths) - 1
+	if spsOn[last] <= spsOff[last] {
+		t.Fatalf("no full-machine speedup gain: on=%v off=%v", spsOn[last], spsOff[last])
+	}
+	// The scaling knee — the thread count where the backend's own strong
+	// scaling collapses — must move right once remote steals stop putting
+	// first-touched pages on the fabric.
+	kneeOff := selfRelativeKnee(ths, spsOff, 0.50)
+	kneeOn := selfRelativeKnee(ths, spsOn, 0.50)
+	if kneeOn <= kneeOff {
+		t.Fatalf("scaling knee did not shift: off=%d on=%d (speedups off=%v on=%v)",
+			kneeOff, kneeOn, spsOff, spsOn)
+	}
+}
+
+// TestExtensionNUMAStealReport sanity-checks the report plumbing.
+func TestExtensionNUMAStealReport(t *testing.T) {
+	r := ExtensionNUMASteal(Config{Scale: 6})
+	if len(r.Tables) != 2 {
+		t.Fatalf("got %d tables, want one per Zen machine", len(r.Tables))
+	}
+	out := r.String()
+	if !strings.Contains(out, "knee") || !strings.Contains(out, "Mach C") {
+		t.Fatalf("report missing knee notes:\n%s", out)
+	}
+}

@@ -95,21 +95,43 @@ type GPU struct {
 // NodeBW returns the DRAM bandwidth of one NUMA node (GB/s).
 func (m *Machine) NodeBW() float64 { return m.BWAllCores / float64(m.NUMANodes) }
 
-// CoresPerNode returns the number of cores in one NUMA node.
-func (m *Machine) CoresPerNode() int { return m.Cores / m.NUMANodes }
+// CoresPerNode returns the number of cores in the largest NUMA node. When
+// Cores is not divisible by NUMANodes the leading nodes hold one extra core
+// (see blockAssign), so this is the ceiling of the average.
+func (m *Machine) CoresPerNode() int {
+	return (m.Cores + m.NUMANodes - 1) / m.NUMANodes
+}
+
+// blockAssign places item into one of groups consecutive blocks covering
+// [0, items): the first items%groups blocks get one extra element, so every
+// item maps to a valid group even when items is not divisible by groups.
+func blockAssign(item, items, groups int) int {
+	base := items / groups
+	rem := items % groups
+	cut := rem * (base + 1)
+	if item < cut {
+		return item / (base + 1)
+	}
+	return rem + (item-cut)/base
+}
 
 // NodeOf returns the NUMA node of a core (block assignment, as on the real
-// machines: consecutive core IDs share a node).
+// machines: consecutive core IDs share a node). With a ragged core count the
+// first Cores%NUMANodes nodes hold one extra core.
 func (m *Machine) NodeOf(core int) int {
 	if core < 0 || core >= m.Cores {
 		panic(fmt.Sprintf("machine %s: core %d out of range", m.Name, core))
 	}
-	return core / m.CoresPerNode()
+	return blockAssign(core, m.Cores, m.NUMANodes)
 }
 
-// SocketOf returns the socket of a core.
+// SocketOf returns the socket of a core, with the same block assignment and
+// remainder rule as NodeOf.
 func (m *Machine) SocketOf(core int) int {
-	return core / (m.Cores / m.Sockets)
+	if core < 0 || core >= m.Cores {
+		panic(fmt.Sprintf("machine %s: core %d out of range", m.Name, core))
+	}
+	return blockAssign(core, m.Cores, m.Sockets)
 }
 
 // ScalarRate returns one core's scalar instruction rate (instructions/s)

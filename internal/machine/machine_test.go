@@ -59,6 +59,65 @@ func TestNodeOfBlockAssignment(t *testing.T) {
 	}
 }
 
+func TestRaggedTopologyAssignment(t *testing.T) {
+	// A deliberately ragged machine: 10 cores over 4 nodes and 3 sockets.
+	// Block assignment gives the leading groups one extra item: node sizes
+	// 3,3,2,2 and socket sizes 4,3,3.
+	m := &Machine{Name: "ragged", Cores: 10, NUMANodes: 4, Sockets: 3}
+	if got := m.CoresPerNode(); got != 3 {
+		t.Fatalf("CoresPerNode = %d, want 3 (largest node)", got)
+	}
+	wantNode := []int{0, 0, 0, 1, 1, 1, 2, 2, 3, 3}
+	wantSock := []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	nodeSeen := make(map[int]int)
+	sockSeen := make(map[int]int)
+	for c := 0; c < m.Cores; c++ {
+		if got := m.NodeOf(c); got != wantNode[c] {
+			t.Errorf("NodeOf(%d) = %d, want %d", c, got, wantNode[c])
+		}
+		if got := m.SocketOf(c); got != wantSock[c] {
+			t.Errorf("SocketOf(%d) = %d, want %d", c, got, wantSock[c])
+		}
+		nodeSeen[m.NodeOf(c)]++
+		sockSeen[m.SocketOf(c)]++
+	}
+	// Every node and socket is populated and sizes differ by at most one.
+	if len(nodeSeen) != m.NUMANodes || len(sockSeen) != m.Sockets {
+		t.Fatalf("populated nodes=%d sockets=%d", len(nodeSeen), len(sockSeen))
+	}
+	for g, sizes := range map[string]map[int]int{"node": nodeSeen, "socket": sockSeen} {
+		min, max := m.Cores, 0
+		for _, n := range sizes {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("%s sizes unbalanced: min=%d max=%d", g, min, max)
+		}
+	}
+	// More groups than cores: every core still maps in range, no division
+	// by zero.
+	tiny := &Machine{Name: "tiny", Cores: 3, NUMANodes: 5, Sockets: 5}
+	for c := 0; c < tiny.Cores; c++ {
+		if n := tiny.NodeOf(c); n < 0 || n >= tiny.NUMANodes {
+			t.Fatalf("tiny NodeOf(%d) = %d out of range", c, n)
+		}
+	}
+}
+
+func TestSocketOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MachA().SocketOf(-1)
+}
+
 func TestNodeOfPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {

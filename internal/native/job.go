@@ -193,11 +193,18 @@ func (j *job) runTask(arg int32, worker int) {
 	}
 }
 
-// runBand drains the part's own band, then steals half of a sibling band,
-// starting from a randomized victim, until no band has stealable work left.
+// runBand drains the part's own band, then steals half of a sibling band
+// until no band has stealable work left. Victims are scanned in proximity
+// order: band indices are the home-worker ids their chunks were pinned to,
+// so the executing worker first retries the band bearing its own id (its
+// data lives closest), then follows its tiered victim order — same node,
+// randomized within the tier, then same socket, then remote. Flat pools
+// have one tier, reproducing the uniform random scan.
 func (j *job) runBand(part, worker int) {
 	own := &j.bands[part]
 	p := j.pool
+	nb := len(j.bands)
+	ord := &p.stealOrd[worker]
 	for {
 		if i, ok := own.take(); ok {
 			r := j.chunkRange(int(i))
@@ -205,19 +212,36 @@ func (j *job) runBand(part, worker int) {
 			continue
 		}
 		stolen := false
-		nb := len(j.bands)
-		off := int(p.rand(worker) % uint64(nb))
-		for k := 0; k < nb; k++ {
-			victim := &j.bands[(part+off+k)%nb]
-			if victim == own {
-				continue
-			}
-			if lo, hi, ok := victim.stealHalf(); ok {
+		// A worker executing a migrated part may find fresh work in the
+		// band pinned to its own id; that victim never appears in its
+		// victim list, so probe it explicitly first.
+		if worker < nb && worker != part {
+			if lo, hi, ok := j.bands[worker].stealHalf(); ok {
 				own.state.Store(packBand(lo, hi))
-				p.noteBandSteal(worker)
+				p.noteBandSteal(worker, false)
 				stolen = true
-				break
 			}
+		}
+		r := p.rand(worker)
+		lo, rr := 0, r
+		for t := 0; t < len(ord.tiers) && !stolen; t++ {
+			end := ord.tiers[t]
+			if tn := end - lo; tn > 0 {
+				rot := int(rr % uint64(tn))
+				for k := 0; k < tn; k++ {
+					b := int(ord.victims[lo+(rot+k)%tn])
+					if b >= nb || b == part {
+						continue
+					}
+					if blo, bhi, ok := j.bands[b].stealHalf(); ok {
+						own.state.Store(packBand(blo, bhi))
+						p.noteBandSteal(worker, p.remoteFrom(worker, b))
+						stolen = true
+						break
+					}
+				}
+			}
+			lo, rr = end, rr>>8
 		}
 		if !stolen {
 			return

@@ -20,6 +20,13 @@
 // as (job, index) words rather than per-chunk closures, so steady-state
 // ForChunks dispatch does not allocate (job.go).
 //
+// Victim selection is optionally NUMA-aware (NewWithTopology): given a
+// worker->node mapping, every steal path scans same-node victims
+// (randomized within the node) before same-socket and remote ones, and the
+// pool reports local and remote steal counts separately — the
+// locality-ordered stealing that keeps first-touched data from being
+// dragged across the fabric.
+//
 // Callers of ForChunks and Do help execute pending tasks while they wait,
 // which makes nested parallelism (sort's merge recursion, scan's pass
 // structure) deadlock-free on a fixed-size pool.
@@ -78,6 +85,12 @@ type Pool struct {
 	callerRng atomic.Uint64
 	stats     []schedCounters // one per worker + one shared caller slot
 
+	// NUMA-aware victim selection (nil topo = flat pool, single tier).
+	// topo[w] is the node of worker w, with a trailing caller entry
+	// (co-located with worker 0); stealOrd[w] is w's tiered victim order.
+	topo     []int32
+	stealOrd []stealOrder
+
 	// Job table: jobs live permanently in their slot and are recycled via
 	// the freelist, so a task word's slot half always resolves through
 	// jobTab. The table is grow-only and cells are written once, so stale
@@ -91,12 +104,33 @@ var _ exec.Pool = (*Pool)(nil)
 
 // New creates a pool with the given number of persistent workers and
 // scheduling strategy. workers < 1 is treated as 1. Close must be called to
-// release the worker goroutines.
+// release the worker goroutines. The pool is flat: victims are scanned in
+// one tier and every steal is reported local; use NewWithTopology to make
+// victim selection NUMA-aware.
 func New(workers int, strategy Strategy) *Pool {
+	return NewWithTopology(workers, strategy, Topology{})
+}
+
+// NewWithTopology creates a pool whose steal paths (worker stealing,
+// caller-side scavenging, and band half-stealing) scan victims in
+// proximity order — same node first, randomized within each tier, then
+// same socket, then remote — and whose SchedStats split steals into
+// LocalSteals/RemoteSteals by whether the victim shared the thief's node.
+// A zero Topology yields the flat pool New returns.
+func NewWithTopology(workers int, strategy Strategy, t Topology) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
+	validateTopology(t, workers)
 	p := &Pool{strategy: strategy, closeCh: make(chan struct{})}
+	if !t.flat() {
+		p.topo = make([]int32, workers+1)
+		for w := 0; w < workers; w++ {
+			p.topo[w] = int32(t.Nodes[w])
+		}
+		p.topo[workers] = p.topo[0] // caller pseudo-worker rides with worker 0
+	}
+	p.stealOrd = buildStealOrders(workers, t)
 	p.injector.init()
 	p.stats = make([]schedCounters, workers+1)
 	p.callerRng.Store(0x9E3779B97F4A7C15)
@@ -115,12 +149,18 @@ func New(workers int, strategy Strategy) *Pool {
 	return p
 }
 
-// splitmix64 seeds the per-worker xorshift generators.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
+// mix64 is the splitmix64 output finalizer: a bijective avalanche mix. The
+// caller pseudo-worker's RNG feeds its additive counter through this; the
+// raw counter alone steps victim starts in a fixed arithmetic pattern.
+func mix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	return x ^ (x >> 31)
+}
+
+// splitmix64 seeds the per-worker xorshift generators.
+func splitmix64(x uint64) uint64 {
+	return mix64(x + 0x9E3779B97F4A7C15)
 }
 
 // Workers returns the number of worker goroutines.
@@ -134,7 +174,8 @@ func (p *Pool) Stats() SchedStats {
 	var s SchedStats
 	for i := range p.stats {
 		c := &p.stats[i]
-		s.Steals += c.steals.Load()
+		s.LocalSteals += c.localSteals.Load()
+		s.RemoteSteals += c.remoteSteals.Load()
 		s.Parks += c.parks.Load()
 		s.Wakeups += c.wakeups.Load()
 		s.EmptySpins += c.emptySpins.Load()

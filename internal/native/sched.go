@@ -12,10 +12,16 @@ import (
 // scheduler fields of counters.Set so native runs and the simulator report
 // comparable statistics.
 type SchedStats struct {
-	// Steals counts work acquired from somewhere other than the worker's
-	// own queues: deque steals, injector pops, inbox raids, and band
-	// half-steals inside stealing loops.
-	Steals uint64
+	// LocalSteals counts work acquired from somewhere other than the
+	// worker's own queues — deque steals, injector pops, inbox raids, and
+	// band half-steals inside stealing loops — where the victim shared the
+	// thief's NUMA node. Flat pools (no topology) report every steal here;
+	// injector pops are always local (a shared queue has no home node).
+	LocalSteals uint64
+	// RemoteSteals counts steals whose victim lived on a different NUMA
+	// node than the thief — the steals that drag first-touched data across
+	// the fabric.
+	RemoteSteals uint64
 	// Parks counts blocking events: workers parking on their semaphore and
 	// callers parking on a job's completion after their spin budget.
 	Parks uint64
@@ -25,9 +31,13 @@ type SchedStats struct {
 	EmptySpins uint64
 }
 
+// Steals returns the total steal count regardless of locality.
+func (s SchedStats) Steals() uint64 { return s.LocalSteals + s.RemoteSteals }
+
 // Add accumulates o into s.
 func (s *SchedStats) Add(o SchedStats) {
-	s.Steals += o.Steals
+	s.LocalSteals += o.LocalSteals
+	s.RemoteSteals += o.RemoteSteals
 	s.Parks += o.Parks
 	s.Wakeups += o.Wakeups
 	s.EmptySpins += o.EmptySpins
@@ -37,10 +47,11 @@ func (s *SchedStats) Add(o SchedStats) {
 // interest (the native analogue of the Likwid marker bracketing).
 func (s SchedStats) Sub(o SchedStats) SchedStats {
 	return SchedStats{
-		Steals:     s.Steals - o.Steals,
-		Parks:      s.Parks - o.Parks,
-		Wakeups:    s.Wakeups - o.Wakeups,
-		EmptySpins: s.EmptySpins - o.EmptySpins,
+		LocalSteals:  s.LocalSteals - o.LocalSteals,
+		RemoteSteals: s.RemoteSteals - o.RemoteSteals,
+		Parks:        s.Parks - o.Parks,
+		Wakeups:      s.Wakeups - o.Wakeups,
+		EmptySpins:   s.EmptySpins - o.EmptySpins,
 	}
 }
 
@@ -48,21 +59,32 @@ func (s SchedStats) Sub(o SchedStats) SchedStats {
 // native runs and simulated runs (simexec) report through the same type.
 func (s SchedStats) Counters() counters.Set {
 	return counters.Set{
-		Steals:     float64(s.Steals),
-		Parks:      float64(s.Parks),
-		Wakeups:    float64(s.Wakeups),
-		EmptySpins: float64(s.EmptySpins),
+		LocalSteals:  float64(s.LocalSteals),
+		RemoteSteals: float64(s.RemoteSteals),
+		Parks:        float64(s.Parks),
+		Wakeups:      float64(s.Wakeups),
+		EmptySpins:   float64(s.EmptySpins),
 	}
 }
 
 // schedCounters is one cache-line-padded bundle of counters. Workers own
 // one each (index = worker id); callers share a trailing bundle.
 type schedCounters struct {
-	steals     atomic.Uint64
-	parks      atomic.Uint64
-	wakeups    atomic.Uint64
-	emptySpins atomic.Uint64
-	_          [4]uint64 // pad to a cache line to avoid false sharing
+	localSteals  atomic.Uint64
+	remoteSteals atomic.Uint64
+	parks        atomic.Uint64
+	wakeups      atomic.Uint64
+	emptySpins   atomic.Uint64
+	_            [3]uint64 // pad to a cache line to avoid false sharing
+}
+
+// noteSteal records one steal, classified by victim locality.
+func (c *schedCounters) noteSteal(remote bool) {
+	if remote {
+		c.remoteSteals.Add(1)
+	} else {
+		c.localSteals.Add(1)
+	}
 }
 
 // worker is the per-worker scheduling state.
@@ -121,7 +143,9 @@ const spinRounds = 4
 
 // rand returns a pseudo-random value for victim selection. Worker slots use
 // an owner-local xorshift; the caller pseudo-worker (id == len(workers))
-// shares an atomic splitmix counter.
+// shares an atomic splitmix counter, finalized through mix64 — the raw
+// additive counter would make rand%n cycle victim starts in a fixed
+// arithmetic pattern.
 func (p *Pool) rand(worker int) uint64 {
 	if worker < len(p.ws) {
 		x := p.ws[worker].rng
@@ -131,7 +155,7 @@ func (p *Pool) rand(worker int) uint64 {
 		p.ws[worker].rng = x
 		return x
 	}
-	return p.callerRng.Add(0x9E3779B97F4A7C15)
+	return mix64(p.callerRng.Add(0x9E3779B97F4A7C15))
 }
 
 func (p *Pool) counters(worker int) *schedCounters {
@@ -141,8 +165,15 @@ func (p *Pool) counters(worker int) *schedCounters {
 	return &p.stats[len(p.ws)]
 }
 
-func (p *Pool) noteBandSteal(worker int) {
-	p.counters(worker).steals.Add(1)
+// remoteFrom reports whether worker/band home b lives on a different NUMA
+// node than scanner a (worker or caller pseudo-worker). Flat pools are
+// never remote.
+func (p *Pool) remoteFrom(a, b int) bool {
+	return p.topo != nil && p.topo[a] != p.topo[b]
+}
+
+func (p *Pool) noteBandSteal(worker int, remote bool) {
+	p.counters(worker).noteSteal(remote)
 }
 
 // runWord decodes and executes one task word. The job table load is ordered
@@ -170,9 +201,9 @@ func (p *Pool) workerLoop(id int) {
 		if moved := w.inbox.drainTo(&w.dq); moved {
 			continue
 		}
-		if word, ok := p.stealWork(id); ok {
+		if word, remote, ok := p.stealWork(id); ok {
 			idleSweeps = 0
-			c.steals.Add(1)
+			c.noteSteal(remote)
 			// Work-conserving cascade: if more work is visible, pull a
 			// sibling out of park to share it.
 			if p.idle.Load() > 0 && p.hasWork() {
@@ -211,40 +242,53 @@ func (in *inbox) drainTo(d *wsDeque) bool {
 	return moved
 }
 
-// stealWork scans the other workers' deques from a random start, then the
-// shared injector, then (as a last resort) the other workers' inboxes.
-func (p *Pool) stealWork(id int) (uint64, bool) {
-	n := len(p.ws)
-	start := int(p.rand(id) % uint64(n))
+// stealWork scans the other workers' deques in proximity order — nearest
+// tier first, with a randomized start within each tier — then the shared
+// injector, then (as a last resort) the other workers' inboxes in the same
+// tier order. remote reports whether the stolen word came from a victim on
+// another NUMA node; injector pops are always local (a shared queue has no
+// home). Flat pools have a single tier, reproducing the uniform random
+// scan.
+func (p *Pool) stealWork(id int) (word uint64, remote, ok bool) {
+	ord := &p.stealOrd[id]
+	r := p.rand(id)
 	for retried := true; retried; {
 		retried = false
-		for k := 0; k < n; k++ {
-			v := (start + k) % n
-			if v == id {
-				continue
+		lo, rr := 0, r
+		for _, end := range ord.tiers {
+			if tn := end - lo; tn > 0 {
+				rot := int(rr % uint64(tn))
+				for k := 0; k < tn; k++ {
+					v := int(ord.victims[lo+(rot+k)%tn])
+					w, got, retry := p.ws[v].dq.steal()
+					if got {
+						return w, p.remoteFrom(id, v), true
+					}
+					retried = retried || retry
+				}
 			}
-			w, ok, retry := p.ws[v].dq.steal()
-			if ok {
-				return w, true
-			}
-			retried = retried || retry
+			lo, rr = end, rr>>8
 		}
-		if w, ok, retry := p.injector.steal(); ok {
-			return w, true
+		if w, got, retry := p.injector.steal(); got {
+			return w, false, true
 		} else if retry {
 			retried = true
 		}
 	}
-	for k := 0; k < n; k++ {
-		v := (start + k) % n
-		if v == id {
-			continue
+	lo, rr := 0, r
+	for _, end := range ord.tiers {
+		if tn := end - lo; tn > 0 {
+			rot := int(rr % uint64(tn))
+			for k := 0; k < tn; k++ {
+				v := int(ord.victims[lo+(rot+k)%tn])
+				if w, got := p.ws[v].inbox.take(); got {
+					return w, p.remoteFrom(id, v), true
+				}
+			}
 		}
-		if w, ok := p.ws[v].inbox.take(); ok {
-			return w, true
-		}
+		lo, rr = end, rr>>8
 	}
-	return 0, false
+	return 0, false, false
 }
 
 // hasWork reports whether any queue in the pool holds a task. Used for the
@@ -351,40 +395,54 @@ func (p *Pool) wait(j *job) {
 }
 
 // scavenge is the caller-side steal path: injector first (external
-// submissions), then worker deques and inboxes.
+// submissions), then worker deques and inboxes in the same proximity order
+// the workers use — the caller pseudo-worker scans with worker 0's tiers.
 func (p *Pool) scavenge(callerID int) (uint64, bool) {
+	c := p.counters(callerID)
 	for {
 		w, ok, retry := p.injector.steal()
 		if ok {
-			c := p.counters(callerID)
-			c.steals.Add(1)
+			c.noteSteal(false)
 			return w, true
 		}
 		if !retry {
 			break
 		}
 	}
-	n := len(p.ws)
-	start := 0
-	if n > 0 {
-		start = int(p.rand(callerID) % uint64(n))
-	}
+	ord := &p.stealOrd[callerID]
+	r := p.rand(callerID)
 	for retried := true; retried; {
 		retried = false
-		for k := 0; k < n; k++ {
-			w, ok, retry := p.ws[(start+k)%n].dq.steal()
-			if ok {
-				p.counters(callerID).steals.Add(1)
-				return w, true
+		lo, rr := 0, r
+		for _, end := range ord.tiers {
+			if tn := end - lo; tn > 0 {
+				rot := int(rr % uint64(tn))
+				for k := 0; k < tn; k++ {
+					v := int(ord.victims[lo+(rot+k)%tn])
+					w, got, retry := p.ws[v].dq.steal()
+					if got {
+						c.noteSteal(p.remoteFrom(callerID, v))
+						return w, true
+					}
+					retried = retried || retry
+				}
 			}
-			retried = retried || retry
+			lo, rr = end, rr>>8
 		}
 	}
-	for k := 0; k < n; k++ {
-		if w, ok := p.ws[(start+k)%n].inbox.take(); ok {
-			p.counters(callerID).steals.Add(1)
-			return w, true
+	lo, rr := 0, r
+	for _, end := range ord.tiers {
+		if tn := end - lo; tn > 0 {
+			rot := int(rr % uint64(tn))
+			for k := 0; k < tn; k++ {
+				v := int(ord.victims[lo+(rot+k)%tn])
+				if w, got := p.ws[v].inbox.take(); got {
+					c.noteSteal(p.remoteFrom(callerID, v))
+					return w, true
+				}
+			}
 		}
+		lo, rr = end, rr>>8
 	}
 	return 0, false
 }

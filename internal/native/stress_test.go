@@ -131,11 +131,14 @@ func TestStatsAccumulate(t *testing.T) {
 		p.ForChunks(1<<14, exec.Fine, func(_, lo, hi int) {})
 	}
 	d := p.Stats().Sub(before)
-	if d.Steals == 0 && d.Wakeups == 0 && d.Parks == 0 {
+	if d.Steals() == 0 && d.Wakeups == 0 && d.Parks == 0 {
 		t.Fatalf("no scheduling activity recorded: %+v", d)
 	}
+	if d.RemoteSteals != 0 {
+		t.Fatalf("flat pool recorded remote steals: %+v", d)
+	}
 	cs := d.Counters()
-	if cs.Steals != float64(d.Steals) || cs.Parks != float64(d.Parks) {
+	if cs.Steals() != float64(d.Steals()) || cs.Parks != float64(d.Parks) {
 		t.Fatalf("Counters mapping mismatch: %+v vs %+v", cs, d)
 	}
 }

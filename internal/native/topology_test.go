@@ -1,0 +1,199 @@
+package native
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pstlbench/internal/exec"
+	"pstlbench/internal/machine"
+)
+
+func TestSplitTopology(t *testing.T) {
+	topo := SplitTopology(8, 2)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for w, n := range want {
+		if topo.Nodes[w] != n {
+			t.Fatalf("SplitTopology(8,2).Nodes = %v, want %v", topo.Nodes, want)
+		}
+	}
+	// Ragged split still covers every node.
+	topo = SplitTopology(10, 4)
+	seen := map[int]bool{}
+	for _, n := range topo.Nodes {
+		seen[n] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("SplitTopology(10,4) populates %d nodes, want 4: %v", len(seen), topo.Nodes)
+	}
+}
+
+func TestTopologyFromMachine(t *testing.T) {
+	m := machine.MachB() // 64 cores, 8 nodes, 2 sockets
+	topo := TopologyFromMachine(m, 16)
+	for w := 0; w < 16; w++ {
+		if topo.Nodes[w] != m.NodeOf(w) || topo.Sockets[w] != m.SocketOf(w) {
+			t.Fatalf("worker %d: node %d socket %d, want compact pinning %d/%d",
+				w, topo.Nodes[w], topo.Sockets[w], m.NodeOf(w), m.SocketOf(w))
+		}
+	}
+	// Oversubscription wraps around the core list.
+	topo = TopologyFromMachine(m, m.Cores+3)
+	if topo.Nodes[m.Cores] != m.NodeOf(0) {
+		t.Fatalf("wrapped worker node = %d, want %d", topo.Nodes[m.Cores], m.NodeOf(0))
+	}
+}
+
+// TestStealOrderTiers pins the tier structure: same-node victims strictly
+// before the rest, and the caller pseudo-worker co-located with worker 0.
+func TestStealOrderTiers(t *testing.T) {
+	ords := buildStealOrders(8, SplitTopology(8, 2))
+	if len(ords) != 9 {
+		t.Fatalf("got %d orders, want 9 (8 workers + caller)", len(ords))
+	}
+	inTier := func(ord stealOrder, tier int) []int32 {
+		lo := 0
+		if tier > 0 {
+			lo = ord.tiers[tier-1]
+		}
+		return ord.victims[lo:ord.tiers[tier]]
+	}
+	// Worker 0 (node 0): near = {1,2,3}, then the node-1 workers.
+	near := inTier(ords[0], 0)
+	if len(near) != 3 {
+		t.Fatalf("worker 0 near tier = %v, want {1,2,3}", near)
+	}
+	for _, v := range near {
+		if v < 1 || v > 3 {
+			t.Fatalf("worker 0 near tier contains off-node victim %d", v)
+		}
+	}
+	for _, v := range inTier(ords[0], 1) {
+		if v < 4 {
+			t.Fatalf("worker 0 mid tier contains same-node victim %d", v)
+		}
+	}
+	// Worker 5 (node 1): near = {4,6,7}.
+	for _, v := range inTier(ords[5], 0) {
+		if v < 4 || v == 5 {
+			t.Fatalf("worker 5 near tier contains victim %d", v)
+		}
+	}
+	// Caller rides with worker 0 and may rob everyone, node 0 first.
+	caller := ords[8]
+	if len(caller.victims) != 8 {
+		t.Fatalf("caller scans %d victims, want 8", len(caller.victims))
+	}
+	for _, v := range inTier(caller, 0) {
+		if v > 3 {
+			t.Fatalf("caller near tier contains off-node victim %d", v)
+		}
+	}
+	// A flat topology collapses to one tier over everyone else.
+	flat := buildStealOrders(4, Topology{})
+	if len(flat[1].tiers) != 1 || flat[1].tiers[0] != 3 {
+		t.Fatalf("flat order = %+v, want single tier of 3", flat[1])
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short nodes", func() {
+		NewWithTopology(4, StrategyStealing, Topology{Nodes: []int{0, 1}}).Close()
+	})
+	mustPanic("short sockets", func() {
+		NewWithTopology(2, StrategyStealing,
+			Topology{Nodes: []int{0, 1}, Sockets: []int{0}}).Close()
+	})
+	mustPanic("sockets without nodes", func() {
+		NewWithTopology(2, StrategyStealing, Topology{Sockets: []int{0, 0}}).Close()
+	})
+}
+
+// TestCallerRandFinalized pins the scheduler RNG satellite fix: the caller
+// pseudo-worker's stream must be finalizer-mixed, not the raw additive
+// splitmix counter. The raw counter's consecutive values differ by a fixed
+// constant, so victim starts (rand % n) cycle in a fixed pattern; the
+// mixed stream has varied deltas and near-uniform residues.
+func TestCallerRandFinalized(t *testing.T) {
+	p := New(2, StrategyStealing)
+	defer p.Close()
+	caller := len(p.ws)
+
+	const samples = 4096
+	vals := make([]uint64, samples)
+	for i := range vals {
+		vals[i] = p.rand(caller)
+	}
+	diffs := map[uint64]bool{}
+	for i := 1; i < samples; i++ {
+		diffs[vals[i]-vals[i-1]] = true
+	}
+	if len(diffs) < samples/2 {
+		t.Fatalf("caller rand has only %d distinct deltas over %d samples: arithmetic progression", len(diffs), samples)
+	}
+	// Residues mod a small victim count stay roughly uniform (the quantity
+	// victim selection consumes).
+	for _, n := range []uint64{3, 7, 16} {
+		buckets := make([]int, n)
+		for _, v := range vals {
+			buckets[v%n]++
+		}
+		expect := samples / int(n)
+		for r, got := range buckets {
+			if got < expect/2 || got > expect*2 {
+				t.Fatalf("rand %% %d residue %d hit %d times, expect ~%d", n, r, got, expect)
+			}
+		}
+	}
+}
+
+// TestNUMAStealCounts exercises a topology pool end to end: a skewed
+// stealing loop must record steals, the local/remote split must sum to the
+// total, and the loop must still visit every element exactly once.
+func TestNUMAStealCounts(t *testing.T) {
+	p := NewWithTopology(4, StrategyStealing, SplitTopology(4, 2))
+	defer p.Close()
+
+	// remoteFrom follows the node map: workers {0,1} vs {2,3}, caller
+	// rides with worker 0.
+	if p.remoteFrom(0, 1) || !p.remoteFrom(0, 2) || !p.remoteFrom(4, 3) || p.remoteFrom(4, 1) {
+		t.Fatal("remoteFrom does not follow the topology")
+	}
+
+	const n = 1 << 12
+	var visited [n]atomic.Int32
+	before := p.Stats()
+	for iter := 0; iter < 20; iter++ {
+		p.ForChunks(n, exec.Fine, func(worker, lo, hi int) {
+			// Skew: the first band is slow, forcing the other workers to
+			// steal its chunks.
+			if lo < n/4 {
+				time.Sleep(50 * time.Microsecond)
+			}
+			for i := lo; i < hi; i++ {
+				visited[i].Add(1)
+			}
+		})
+	}
+	for i := range visited {
+		if got := visited[i].Load(); got != 20 {
+			t.Fatalf("element %d visited %d times, want 20", i, got)
+		}
+	}
+	d := p.Stats().Sub(before)
+	if d.Steals() == 0 {
+		t.Fatalf("skewed stealing loop recorded no steals: %+v", d)
+	}
+	if d.Steals() != d.LocalSteals+d.RemoteSteals {
+		t.Fatalf("steal split does not sum: %+v", d)
+	}
+}

@@ -1,0 +1,64 @@
+package simexec
+
+import (
+	"testing"
+
+	"pstlbench/internal/allocsim"
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+)
+
+// TestNUMAStealModel verifies the simulated plane responds to the
+// --numa-steal policy the way the tentpole intends: on the 8-node Zen
+// machine, uniform random stealing (off) migrates chunks across nodes and
+// pays fabric traffic, while the locality-ordered scan (on) eliminates the
+// remote steals and the remote traffic with them.
+func TestNUMAStealModel(t *testing.T) {
+	m := machine.MachB()
+	run := func(on bool) Result {
+		b := backend.GCCTBB()
+		b.NUMASteal = on
+		return Run(Config{
+			Machine: m, Backend: b,
+			Workload: wl(backend.OpForEach, 1<<26), // 512 MiB: DRAM-resident
+			Threads:  m.Cores, Alloc: allocsim.FirstTouch,
+		})
+	}
+
+	off := run(false)
+	on := run(true)
+
+	if off.Counters.RemoteSteals == 0 {
+		t.Fatal("uniform stealing on Mach B recorded no remote steals")
+	}
+	if on.Counters.RemoteSteals >= off.Counters.RemoteSteals {
+		t.Fatalf("NUMA steal order did not reduce remote steals: on=%v off=%v",
+			on.Counters.RemoteSteals, off.Counters.RemoteSteals)
+	}
+	if on.Seconds >= off.Seconds {
+		t.Fatalf("NUMA steal order did not help a DRAM-bound for_each: on=%vs off=%vs",
+			on.Seconds, off.Seconds)
+	}
+
+	// The policy only changes scheduling and placement, not the work:
+	// instruction counts match and the run stays deterministic.
+	if on.Counters.Instructions != off.Counters.Instructions {
+		t.Fatalf("instruction count changed with steal policy: on=%v off=%v",
+			on.Counters.Instructions, off.Counters.Instructions)
+	}
+	if again := run(true); again.Seconds != on.Seconds {
+		t.Fatalf("NUMASteal run not deterministic: %v vs %v", again.Seconds, on.Seconds)
+	}
+
+	// Static fork-join ignores the toggle entirely.
+	g := backend.GCCGNU()
+	g.NUMASteal = true
+	gOn := Run(Config{Machine: m, Backend: g,
+		Workload: wl(backend.OpForEach, 1<<26), Threads: m.Cores, Alloc: allocsim.FirstTouch})
+	g2 := backend.GCCGNU()
+	gOff := Run(Config{Machine: m, Backend: g2,
+		Workload: wl(backend.OpForEach, 1<<26), Threads: m.Cores, Alloc: allocsim.FirstTouch})
+	if gOn.Seconds != gOff.Seconds {
+		t.Fatalf("static backend responded to NUMASteal: %v vs %v", gOn.Seconds, gOff.Seconds)
+	}
+}

@@ -21,7 +21,7 @@ func TestSchedulerCountersModeled(t *testing.T) {
 			Workload: wl(backend.OpForEach, 1<<24),
 			Threads:  16, Alloc: allocsim.FirstTouch,
 		})
-		return r.Counters.Steals, r.Counters.Wakeups, r.Counters.Parks
+		return r.Counters.Steals(), r.Counters.Wakeups, r.Counters.Parks
 	}
 
 	sSteal, wSteal, _ := run(backend.GCCTBB())

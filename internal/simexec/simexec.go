@@ -261,6 +261,19 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 	queueAt := 0.0
 	next := 0 // next unassigned task (FIFO in chunk order)
 
+	// Home bands: under the band partition, core c owns the contiguous
+	// chunk range [c*tpc, (c+1)*tpc). homeCore classifies dispatches as
+	// local or remote steals; under NUMASteal it also drives the
+	// locality-ordered victim scan and the traffic attribution.
+	tpc := (len(tasks) + threads - 1) / threads
+	homeCore := func(ti int) int { return ti / tpc }
+	numaSteal := b.NUMASteal && b.Strategy == backend.StrategyStealing &&
+		parallel && len(tasks) > 1
+	var victimOrder [][]int
+	if numaSteal {
+		victimOrder = stealVictimOrder(m, threads)
+	}
+
 	// assign hands pending tasks to free cores according to the
 	// backend's strategy. Static strategy binds task i to core i mod P;
 	// the greedy strategies hand the next task to any free core. Alongside
@@ -293,10 +306,32 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 				}
 			default:
 				ti = -1
-				for i := next; i < len(tasks); i++ {
-					if !tasks[i].done && !tasks[i].running {
-						ti = i
-						break
+				if numaSteal {
+					// Locality-ordered scan: the core drains its own band,
+					// then same-node bands, then same-socket, then remote —
+					// the node-ordered victim scan the native pool runs
+					// under a topology.
+					for _, vc := range victimOrder[c] {
+						blo, bhi := vc*tpc, (vc+1)*tpc
+						if bhi > len(tasks) {
+							bhi = len(tasks)
+						}
+						for i := blo; i < bhi; i++ {
+							if !tasks[i].done && !tasks[i].running {
+								ti = i
+								break
+							}
+						}
+						if ti >= 0 {
+							break
+						}
+					}
+				} else {
+					for i := next; i < len(tasks); i++ {
+						if !tasks[i].done && !tasks[i].running {
+							ti = i
+							break
+						}
 					}
 				}
 				if ti < 0 {
@@ -305,14 +340,20 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 				}
 				// Mirror what the native pools count as a steal. A
 				// central-queue worker acquires every task from the shared
-				// injector, so each dispatch is a steal. A band-stealing
-				// worker owns the initial block partition of the chunk
-				// space; a dispatch outside the core's own block means the
-				// task migrated off its home.
+				// injector, so each dispatch is a steal (local: a shared
+				// queue has no home node). A band-stealing worker owns the
+				// initial block partition of the chunk space; a dispatch
+				// outside the core's own block means the task migrated off
+				// its home, and crossing NUMA nodes makes it a remote
+				// steal.
 				if b.Strategy == backend.StrategyQueue {
-					ctr.Steals++
-				} else if tpc := (len(tasks) + threads - 1) / threads; ti/tpc != c {
-					ctr.Steals++
+					ctr.LocalSteals++
+				} else if hc := homeCore(ti); hc != c {
+					if m.NodeOf(hc) != m.NodeOf(c) {
+						ctr.RemoteSteals++
+					} else {
+						ctr.LocalSteals++
+					}
 				}
 			}
 			ctr.Wakeups++
@@ -332,6 +373,15 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 				// A whole-array task reads every page wherever it
 				// lives; affinity is meaningless for it.
 				t.traffic = placement.NodeFrac
+			} else if numaSteal {
+				// Execution follows data: with locality-ordered stealing a
+				// chunk stays on the node that first-touched its pages
+				// unless it was stolen across nodes, so its full traffic
+				// targets the home node — local when it runs there, fabric
+				// traffic only for the (now rare) remote steals. The
+				// AffinityMatch calibration models uniform random
+				// stealing's decorrelation, which this policy removes.
+				t.traffic = allocsim.TaskTraffic(placement, m.NodeOf(homeCore(ti)), 1, alloc)
 			} else {
 				t.traffic = allocsim.TaskTraffic(placement, m.NodeOf(c), tr.AffinityMatch, alloc)
 			}
@@ -477,6 +527,33 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 		}
 	}
 	return total
+}
+
+// stealVictimOrder precomputes, for every core, the proximity-ordered core
+// list its band scan follows under NUMASteal: itself first, then the other
+// cores of its node, then its socket, then the rest — ascending within each
+// tier so the simulation stays deterministic (the native pool randomizes
+// within tiers instead).
+func stealVictimOrder(m *machine.Machine, threads int) [][]int {
+	order := make([][]int, threads)
+	for c := 0; c < threads; c++ {
+		node, sock := m.NodeOf(c), m.SocketOf(c)
+		ord := make([]int, 0, threads)
+		ord = append(ord, c)
+		for _, tier := range [3]func(int) bool{
+			func(v int) bool { return m.NodeOf(v) == node },
+			func(v int) bool { return m.NodeOf(v) != node && m.SocketOf(v) == sock },
+			func(v int) bool { return m.SocketOf(v) != sock },
+		} {
+			for v := 0; v < threads; v++ {
+				if v != c && tier(v) {
+					ord = append(ord, v)
+				}
+			}
+		}
+		order[c] = ord
+	}
+	return order
 }
 
 // accumulate adds the counter contribution of adv elements of task t.
