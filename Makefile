@@ -13,10 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-heavy packages: the work-stealing scheduler
-# and the algorithms that drive it.
+# Race-check the concurrency-heavy packages: the work-stealing scheduler,
+# the algorithms that drive it, the event-tracing layer its workers write
+# to, and the simulator that emits virtual-time traces.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/trace/... ./internal/simexec/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .

@@ -28,6 +28,7 @@ import (
 	"pstlbench/internal/allocsim"
 	"pstlbench/internal/backend"
 	"pstlbench/internal/core"
+	"pstlbench/internal/counters"
 	"pstlbench/internal/exec"
 	"pstlbench/internal/harness"
 	"pstlbench/internal/kernels"
@@ -36,26 +37,28 @@ import (
 	"pstlbench/internal/report"
 	"pstlbench/internal/simexec"
 	"pstlbench/internal/skeleton"
+	"pstlbench/internal/trace"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "sim", "sim (simulated machines) or native (this host)")
-		machName = flag.String("machine", "a", "simulated machine: a, b, c, d, e")
-		backends = flag.String("backend", "all", "comma-separated backend IDs (GCC-SEQ, GCC-TBB, GCC-GNU, GCC-HPX, ICC-TBB, NVC-OMP, NVC-CUDA) or 'all'")
-		algos    = flag.String("algo", "all", "comma-separated kernels, 'all' (the five studied), or 'extended' (the full native set)")
-		kit      = flag.Int("kit", 1, "for_each computational intensity (k_it)")
-		minExp   = flag.Int("minexp", 10, "smallest problem size exponent (2^minexp elements)")
-		maxExp   = flag.Int("maxexp", 24, "largest problem size exponent")
-		threads  = flag.Int("threads", 0, "thread count (0 = all cores of the machine / GOMAXPROCS)")
-		alloc    = flag.String("alloc", "first-touch", "allocation strategy: default or first-touch (sim mode)")
-		strategy = flag.String("strategy", "stealing", "native scheduling strategy: seq, forkjoin, stealing, centralqueue")
+		mode      = flag.String("mode", "sim", "sim (simulated machines) or native (this host)")
+		machName  = flag.String("machine", "a", "simulated machine: a, b, c, d, e")
+		backends  = flag.String("backend", "all", "comma-separated backend IDs (GCC-SEQ, GCC-TBB, GCC-GNU, GCC-HPX, ICC-TBB, NVC-OMP, NVC-CUDA) or 'all'")
+		algos     = flag.String("algo", "all", "comma-separated kernels, 'all' (the five studied), or 'extended' (the full native set)")
+		kit       = flag.Int("kit", 1, "for_each computational intensity (k_it)")
+		minExp    = flag.Int("minexp", 10, "smallest problem size exponent (2^minexp elements)")
+		maxExp    = flag.Int("maxexp", 24, "largest problem size exponent")
+		threads   = flag.Int("threads", 0, "thread count (0 = all cores of the machine / GOMAXPROCS)")
+		alloc     = flag.String("alloc", "first-touch", "allocation strategy: default or first-touch (sim mode)")
+		strategy  = flag.String("strategy", "stealing", "native scheduling strategy: seq, forkjoin, stealing, centralqueue")
 		numaSteal = flag.Bool("numa-steal", false, "NUMA-aware steal order: scan same-node victims before remote ones (sim: stealing backends; native: workers pinned to the -machine topology)")
-		workers  = flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
-		minTime  = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per benchmark (native mode)")
-		filter   = flag.String("filter", "", "regexp filter on benchmark instance names")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut  = flag.Bool("json", false, "emit JSON records instead of a table")
+		workers   = flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
+		minTime   = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per benchmark (native mode)")
+		filter    = flag.String("filter", "", "regexp filter on benchmark instance names")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut   = flag.Bool("json", false, "emit JSON records instead of a table")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or ui.perfetto.dev; summarize with pstlreport -trace)")
 	)
 	flag.Parse()
 
@@ -68,29 +71,38 @@ func main() {
 	}
 
 	selKernels := selectKernels(*algos)
-	suite := &harness.Suite{}
+	suite := &harness.Suite{Registry: counters.NewRegistry()}
+	tracing := *traceOut != ""
 	switch *mode {
 	case "sim":
-		registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc, *numaSteal)
+		suite.Tracer = registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc, *numaSteal, tracing)
 	case "native":
-		registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal)
+		suite.Tracer = registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal, tracing)
 	default:
 		fatal("unknown -mode %q", *mode)
 	}
 
 	results := suite.Run(re)
 	harness.SortResults(results)
+	if tracing {
+		writeTrace(*traceOut, suite.Tracer)
+	}
 	if *jsonOut {
-		emitJSON(results)
+		emitJSON(results, suite.Registry)
 		return
 	}
 	t := &report.Table{
-		Headers: []string{"Benchmark", "Iterations", "Time/call", "GiB/s"},
+		Headers: []string{"Benchmark", "Iterations", "Time/call", "Stddev", "GiB/s"},
 	}
 	for _, r := range results {
+		stddev := "-"
+		if s := suite.Registry.Stats(r.FullName()); s.Calls > 1 {
+			stddev = fmt.Sprintf("%.3g s", s.StdDev)
+		}
 		t.AddRow(r.FullName(),
 			fmt.Sprintf("%d", r.Iterations),
 			fmt.Sprintf("%.6g s", r.Seconds),
+			stddev,
 			fmt.Sprintf("%.2f", r.BytesPerSec/(1<<30)))
 	}
 	if *csv {
@@ -100,19 +112,47 @@ func main() {
 	}
 }
 
+// writeTrace exports the tracer's event stream as a Chrome trace-event
+// JSON file.
+func writeTrace(path string, tr *trace.Tracer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("creating trace file: %v", err)
+	}
+	if err := trace.WriteChrome(f, tr); err != nil {
+		fatal("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing trace file: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pstlbench: wrote %d trace events to %s (%d lost to ring overflow); open in ui.perfetto.dev or summarize with: pstlreport -trace %s\n",
+		tr.TotalEvents()-tr.Lost(), path, tr.Lost(), path)
+}
+
 // jsonRecord is the machine-readable result schema, one line per
 // benchmark instance (JSON Lines).
 type jsonRecord struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	Seconds     float64 `json:"seconds_per_call"`
-	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	Seconds    float64 `json:"seconds_per_call"`
+	// Per-call Seconds spread over every timed sample of the instance.
+	SecondsStdDev float64 `json:"seconds_stddev,omitempty"`
+	SecondsMin    float64 `json:"seconds_min,omitempty"`
+	SecondsMax    float64 `json:"seconds_max,omitempty"`
+	BytesPerSec   float64 `json:"bytes_per_sec,omitempty"`
 	// Modeled counters, when the simulator produced them.
 	Instructions float64 `json:"instructions,omitempty"`
 	DRAMBytes    float64 `json:"dram_bytes,omitempty"`
+	// Event-stream distributions of the measured attempt, when tracing.
+	ChunkP50        float64 `json:"chunk_p50,omitempty"`
+	ChunkP95        float64 `json:"chunk_p95,omitempty"`
+	ChunkMax        float64 `json:"chunk_max,omitempty"`
+	StealToWorkP50  float64 `json:"steal_to_work_p50,omitempty"`
+	TraceEvents     uint64  `json:"trace_events,omitempty"`
+	TraceLostEvents uint64  `json:"trace_lost_events,omitempty"`
 }
 
-func emitJSON(results []harness.Result) {
+func emitJSON(results []harness.Result, reg *counters.Registry) {
 	enc := json.NewEncoder(os.Stdout)
 	for _, r := range results {
 		rec := jsonRecord{
@@ -121,9 +161,24 @@ func emitJSON(results []harness.Result) {
 			Seconds:     r.Seconds,
 			BytesPerSec: r.BytesPerSec,
 		}
+		if reg != nil {
+			if s := reg.Stats(r.FullName()); s.Calls > 1 {
+				rec.SecondsStdDev = s.StdDev
+				rec.SecondsMin = s.Min
+				rec.SecondsMax = s.Max
+			}
+		}
 		if r.HasCounters && r.Iterations > 0 {
 			rec.Instructions = r.Counters.Instructions / float64(r.Iterations)
 			rec.DRAMBytes = r.Counters.DRAMBytes / float64(r.Iterations)
+		}
+		if t := r.Trace; t != nil {
+			rec.ChunkP50 = t.Chunk.P50
+			rec.ChunkP95 = t.Chunk.P95
+			rec.ChunkMax = t.Chunk.Max
+			rec.StealToWorkP50 = t.StealToWork.P50
+			rec.TraceEvents = t.Events
+			rec.TraceLostEvents = t.Lost
 		}
 		if err := enc.Encode(rec); err != nil {
 			fatal("encoding JSON: %v", err)
@@ -171,14 +226,23 @@ func selectBackends(spec string) []*backend.Backend {
 
 // registerSim adds one benchmark per (kernel, backend) with the size sweep
 // as range arguments; each iteration reports the simulator's virtual time
-// via manual timing.
-func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string, numaSteal bool) {
+// via manual timing. With tracing, it returns a virtual-time tracer with
+// one track per simulated core plus the harness marker track.
+func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string, numaSteal, tracing bool) *trace.Tracer {
 	m := machine.ByName(machName)
 	if m == nil {
 		fatal("unknown machine %q", machName)
 	}
-	if threads <= 0 {
+	if threads <= 0 || threads > m.Cores {
 		threads = m.Cores
+	}
+	var tr *trace.Tracer
+	if tracing {
+		tr = trace.NewVirtual(threads+1, trace.DefaultCapacity)
+		for c := 0; c < threads; c++ {
+			tr.SetLabel(c, fmt.Sprintf("core %d", c))
+		}
+		tr.SetLabel(threads, "harness")
 	}
 	var alloc allocsim.Strategy
 	switch allocName {
@@ -214,6 +278,7 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 							Workload: skeleton.Workload{Op: k.Op, N: n, ElemBytes: 8, Kit: kit, HitFrac: 0.5},
 							Threads:  threads, Alloc: alloc,
 							TransferBack: b.IsGPU(),
+							Tracer:       tr,
 						})
 						st.SetIterationTime(r.Seconds)
 						st.RecordCounters(r.Counters)
@@ -223,16 +288,25 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 			})
 		}
 	}
+	return tr
 }
 
 // registerNative adds benchmarks running the real Go library on the host.
 // With numaSteal, the pool's victim selection follows the -machine
 // topology, as if the workers were pinned to that machine's core layout.
-func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal bool) {
+// With tracing, it returns a wall-clock tracer with one track per pool
+// worker, a caller track, and the harness marker track.
+func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal, tracing bool) *trace.Tracer {
 	var policy core.Policy
+	var tr *trace.Tracer
 	switch strategyName {
 	case "seq":
 		policy = core.Seq()
+		if tracing {
+			// Sequential runs have no scheduler; only harness markers.
+			tr = trace.New(1, trace.DefaultCapacity)
+			tr.SetLabel(0, "harness")
+		}
 	case "forkjoin", "stealing", "centralqueue":
 		var s native.Strategy
 		switch strategyName {
@@ -254,7 +328,15 @@ func registerNative(suite *harness.Suite, strategyName string, workers int, ks [
 			}
 			topo = native.TopologyFromMachine(m, workers)
 		}
-		pool := native.NewWithTopology(workers, s, topo)
+		if tracing {
+			tr = trace.New(workers+2, trace.DefaultCapacity)
+			for w := 0; w < workers; w++ {
+				tr.SetLabel(w, fmt.Sprintf("worker %d", w))
+			}
+			tr.SetLabel(workers, "caller")
+			tr.SetLabel(workers+1, "harness")
+		}
+		pool := native.NewTraced(workers, s, topo, tr)
 		// The pool lives for the process lifetime; no Close needed.
 		policy = core.Par(pool).WithGrain(exec.Auto)
 	default:
@@ -275,4 +357,5 @@ func registerNative(suite *harness.Suite, strategyName string, workers int, ks [
 			},
 		})
 	}
+	return tr
 }

@@ -8,25 +8,40 @@
 //
 // Output is plain text: aligned tables and ASCII charts (log-2 x axes,
 // matching the paper's presentation).
+//
+// A third mode summarizes a Chrome trace-event file written by
+// pstlbench --trace:
+//
+//	pstlreport -trace out.json    # ASCII timeline + per-track statistics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"pstlbench/internal/experiments"
+	"pstlbench/internal/report"
+	"pstlbench/internal/trace"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs (fig1..fig9, tab2..tab7, ext-*, abl-*) or 'all'")
-		scale = flag.Int("scale", 0, "problem-size exponent reduction: N uses 2^(30-N) elements")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		csv   = flag.Bool("csv", false, "emit the experiments' tables as CSV (charts are omitted)")
+		exp       = flag.String("exp", "all", "comma-separated experiment IDs (fig1..fig9, tab2..tab7, ext-*, abl-*) or 'all'")
+		scale     = flag.Int("scale", 0, "problem-size exponent reduction: N uses 2^(30-N) elements")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		csv       = flag.Bool("csv", false, "emit the experiments' tables as CSV (charts are omitted)")
+		traceFile = flag.String("trace", "", "summarize a Chrome trace-event file written by pstlbench --trace")
+		width     = flag.Int("width", 72, "timeline width in columns (-trace mode)")
 	)
 	flag.Parse()
+
+	if *traceFile != "" {
+		summarizeTrace(*traceFile, *width)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Index() {
@@ -61,4 +76,28 @@ func main() {
 		}
 		fmt.Println(r)
 	}
+}
+
+// summarizeTrace loads a Chrome trace-event file, validates its shape, and
+// prints the terminal timeline and per-track distributions.
+func summarizeTrace(path string, width int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pstlreport: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	ct, err := trace.ReadChrome(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pstlreport: reading %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if err := ct.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pstlreport: invalid trace %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	tracks, labels := ct.Tracks()
+	s := trace.SummarizeEvents(tracks, labels, ct.Virtual(), math.MinInt64, math.MaxInt64)
+	s.Lost = ct.LostEvents()
+	fmt.Print(report.TraceTimeline(tracks, labels, s, width))
 }

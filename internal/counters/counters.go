@@ -11,6 +11,7 @@ package counters
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -149,6 +150,28 @@ type Registry struct {
 type regionData struct {
 	set   Set
 	calls int
+
+	// Seconds distribution over samples with a nonzero timing component.
+	// Counter-only records (Seconds == 0) accumulate into set without
+	// perturbing the timing statistics.
+	secCalls int
+	secMin   float64
+	secMax   float64
+	secSum   float64
+	secSumSq float64
+}
+
+// RegionStats summarizes the per-call Seconds distribution of a region:
+// the min/max spread and the call-count-weighted mean and standard
+// deviation over every timed sample recorded into it.
+type RegionStats struct {
+	// Calls counts the timed samples (records with Seconds > 0); a region
+	// may hold more total records if counter-only sets were added.
+	Calls int
+	// Min, Max, Mean are per-call Seconds.
+	Min, Max, Mean float64
+	// StdDev is the population standard deviation of per-call Seconds.
+	StdDev float64
 }
 
 // NewRegistry returns an empty registry.
@@ -167,6 +190,17 @@ func (r *Registry) Record(region string, s Set) {
 	}
 	d.set.Add(s)
 	d.calls++
+	if s.Seconds > 0 {
+		if d.secCalls == 0 || s.Seconds < d.secMin {
+			d.secMin = s.Seconds
+		}
+		if s.Seconds > d.secMax {
+			d.secMax = s.Seconds
+		}
+		d.secSum += s.Seconds
+		d.secSumSq += s.Seconds * s.Seconds
+		d.secCalls++
+	}
 }
 
 // Region returns the accumulated counters and call count of a region.
@@ -178,6 +212,33 @@ func (r *Registry) Region(region string) (Set, int) {
 		return Set{}, 0
 	}
 	return d.set, d.calls
+}
+
+// Stats returns the per-call Seconds distribution of a region. Unknown
+// regions — and regions holding only counter-only records — return the
+// zero RegionStats.
+func (r *Registry) Stats(region string) RegionStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.regions[region]
+	if d == nil || d.secCalls == 0 {
+		return RegionStats{}
+	}
+	n := float64(d.secCalls)
+	mean := d.secSum / n
+	// Population variance via the sum-of-squares identity; clamp the
+	// cancellation error for near-constant samples.
+	variance := d.secSumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return RegionStats{
+		Calls:  d.secCalls,
+		Min:    d.secMin,
+		Max:    d.secMax,
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+	}
 }
 
 // Regions returns the region names in sorted order.

@@ -1,6 +1,7 @@
 package counters
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -101,5 +102,50 @@ func TestRegistryConcurrent(t *testing.T) {
 	s, calls := r.Region("hot")
 	if s.Instructions != 8000 || calls != 8000 {
 		t.Fatalf("concurrent recording lost samples: %v/%d", s.Instructions, calls)
+	}
+}
+
+func TestRegionStats(t *testing.T) {
+	r := NewRegistry()
+	if s := r.Stats("missing"); s != (RegionStats{}) {
+		t.Fatalf("unknown region stats = %+v, want zero", s)
+	}
+	for _, sec := range []float64{2e-3, 4e-3, 6e-3} {
+		r.Record("loop", Set{Seconds: sec})
+	}
+	// A counter-only record must not perturb the timing distribution.
+	r.Record("loop", Set{Instructions: 100})
+	s := r.Stats("loop")
+	if s.Calls != 3 {
+		t.Fatalf("Calls = %d, want 3 (counter-only record counted)", s.Calls)
+	}
+	if math.Abs(s.Min-2e-3) > 1e-12 || math.Abs(s.Max-6e-3) > 1e-12 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-4e-3) > 1e-12 {
+		t.Fatalf("mean = %v, want 4ms", s.Mean)
+	}
+	// Population stddev of {2,4,6}ms is sqrt(8/3) ms.
+	if want := math.Sqrt(8.0/3.0) * 1e-3; math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	// The accumulated set still includes every record.
+	set, calls := r.Region("loop")
+	if calls != 4 || math.Abs(set.Seconds-12e-3) > 1e-12 || set.Instructions != 100 {
+		t.Fatalf("region set = %+v calls = %d", set, calls)
+	}
+}
+
+func TestRegionStatsConstantSamples(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.Record("flat", Set{Seconds: 1e-3})
+	}
+	s := r.Stats("flat")
+	if s.StdDev != 0 {
+		t.Fatalf("stddev of constant samples = %v, want exactly 0", s.StdDev)
+	}
+	if s.Min != s.Max || s.Min != 1e-3 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pstlbench/internal/counters"
+	"pstlbench/internal/trace"
 )
 
 // State is the per-benchmark-run state handed to the benchmark body.
@@ -40,10 +41,17 @@ type State struct {
 	elapsed     time.Duration
 	manual      float64
 	manualMode  bool
+	manualIter  int // iteration of the last SetIterationTime call
+	manualSeen  bool
 	bytes       int64
 	items       int64
 	ctr         counters.Set
 	ctrRecorded bool
+	ctrIter     int // iteration of the last RecordCounters call
+
+	tracer   *trace.Tracer
+	tbuf     *trace.Buf // harness marker track
+	registry *counters.Registry
 }
 
 // Name returns the full benchmark name including arguments.
@@ -64,9 +72,15 @@ func (s *State) Next() bool {
 	if !s.started {
 		s.started = true
 		s.startTime = time.Now()
+		if s.tbuf != nil && s.target > 0 {
+			s.tbuf.Instant(trace.KindIteration, s.tracer.Now(), 0, 0)
+		}
 		return s.target > 0
 	}
 	if s.iter++; s.iter < s.target {
+		if s.tbuf != nil {
+			s.tbuf.Instant(trace.KindIteration, s.tracer.Now(), int64(s.iter), 0)
+		}
 		return true
 	}
 	s.elapsed += time.Since(s.startTime)
@@ -90,9 +104,29 @@ func (s *State) ResumeTiming() {
 // iteration (WRAP_TIMING / benchmark::State::SetIterationTime). Once
 // called, the benchmark's reported time comes exclusively from manual
 // measurements.
+//
+// The manual-timing contract: call it at most once per iteration, strictly
+// inside the measurement loop (after the first Next has returned true), and
+// pass exactly the duration of the timed call — the harness sums the
+// per-iteration values and never mixes them with wall-clock timing. Calling
+// it before the loop starts panics: there is no current iteration to
+// attribute the time to.
 func (s *State) SetIterationTime(seconds float64) {
+	if !s.started {
+		panic(fmt.Sprintf("harness: %s called SetIterationTime before the first Next(); "+
+			"manual timing must be reported from inside the measurement loop", s.name))
+	}
+	if s.manualSeen && s.manualIter == s.iter {
+		panic(fmt.Sprintf("harness: %s called SetIterationTime twice in iteration %d; "+
+			"report exactly one duration per iteration", s.name, s.iter))
+	}
+	s.manualSeen = true
+	s.manualIter = s.iter
 	s.manualMode = true
 	s.manual += seconds
+	if s.registry != nil {
+		s.registry.Record(s.name, counters.Set{Seconds: seconds})
+	}
 }
 
 // SetBytesProcessed declares the total bytes processed across all
@@ -103,10 +137,18 @@ func (s *State) SetBytesProcessed(n int64) { s.bytes = n }
 // iterations.
 func (s *State) SetItemsProcessed(n int64) { s.items = n }
 
-// RecordCounters accumulates modeled hardware counters for the current
+// RecordCounters records the modeled hardware counters of the current
 // iteration, in the style of a Likwid marker region around the timed call.
+// Like SetIterationTime, it may be called at most once per iteration —
+// a second call in the same iteration panics, since it would silently
+// double-count the region.
 func (s *State) RecordCounters(c counters.Set) {
+	if s.ctrRecorded && s.ctrIter == s.iter {
+		panic(fmt.Sprintf("harness: %s recorded counters twice in iteration %d; "+
+			"accumulate within the body and record one set per iteration", s.name, s.iter))
+	}
 	s.ctrRecorded = true
+	s.ctrIter = s.iter
 	s.ctr.Add(c)
 }
 
@@ -147,6 +189,10 @@ type Result struct {
 	// Counters holds accumulated modeled counters, if recorded.
 	Counters    counters.Set
 	HasCounters bool
+	// Trace summarizes the scheduler events of the final (measured)
+	// attempt, when the suite runs with a Tracer: per-worker chunk-latency
+	// distributions, steal-to-work latency, and idle-gap histograms.
+	Trace *trace.Summary
 }
 
 // FullName returns the name with argument suffixes ("reduce/1048576").
@@ -162,6 +208,17 @@ func instanceName(name string, args []int64) string {
 // Suite is a registry of benchmarks.
 type Suite struct {
 	benches []Benchmark
+
+	// Tracer, when non-nil, receives region and iteration markers on its
+	// last track (the harness track) and is summarized per instance into
+	// Result.Trace. The same tracer is shared with the execution plane
+	// (native pool or simulator), so markers and scheduler events land on
+	// one timeline.
+	Tracer *trace.Tracer
+	// Registry, when non-nil, receives one Seconds sample per
+	// SetIterationTime call under the instance's full name — the region
+	// names in the registry match the KindRegion markers in the trace.
+	Registry *counters.Registry
 }
 
 // Register adds a benchmark to the suite.
@@ -195,17 +252,25 @@ func (su *Suite) Run(filter *regexp.Regexp) []Result {
 			if filter != nil && !filter.MatchString(name) {
 				continue
 			}
-			results = append(results, runOne(b, args))
+			results = append(results, su.runOne(b, args))
 		}
 	}
 	return results
+}
+
+// markerBuf returns the harness marker track (the tracer's last track).
+func (su *Suite) markerBuf() *trace.Buf {
+	if su.Tracer == nil {
+		return nil
+	}
+	return su.Tracer.Buf(su.Tracer.Tracks() - 1)
 }
 
 // runOne measures a single benchmark instance with the adaptive
 // iteration-count loop: run with n iterations, and while the accumulated
 // measuring time is below MinTime, grow n geometrically based on the
 // observed per-iteration time.
-func runOne(b Benchmark, args []int64) Result {
+func (su *Suite) runOne(b Benchmark, args []int64) Result {
 	minTime := b.MinTime
 	if minTime <= 0 {
 		minTime = defaultMinTime
@@ -214,11 +279,27 @@ func runOne(b Benchmark, args []int64) Result {
 	if maxIters <= 0 {
 		maxIters = defaultMaxIters
 	}
+	name := instanceName(b.Name, args)
+	tb := su.markerBuf()
+	var region int64
+	if tb != nil {
+		region = su.Tracer.Intern(name)
+	}
 	n := 1
 	var st *State
+	var windowFrom, windowTo int64
 	for {
-		st = &State{name: instanceName(b.Name, args), args: args, target: n}
+		st = &State{name: name, args: args, target: n,
+			tracer: su.Tracer, tbuf: tb, registry: su.Registry}
+		var rstart int64
+		if tb != nil {
+			rstart = su.Tracer.Now()
+		}
 		b.Fn(st)
+		if tb != nil {
+			windowFrom, windowTo = rstart, su.Tracer.Now()
+			tb.Span(trace.KindRegion, rstart, windowTo, region, int64(n))
+		}
 		measured := st.measuredSeconds()
 		if measured >= minTime.Seconds() || n >= maxIters {
 			break
@@ -247,6 +328,10 @@ func runOne(b Benchmark, args []int64) Result {
 		Counters:   st.ctr,
 	}
 	res.HasCounters = st.ctrRecorded
+	if tb != nil {
+		// Summarize only the final attempt — the one the timing comes from.
+		res.Trace = trace.SummarizeWindow(su.Tracer, windowFrom, windowTo)
+	}
 	total := st.measuredSeconds()
 	if st.target > 0 {
 		res.Seconds = total / float64(st.target)

@@ -2,10 +2,12 @@ package harness
 
 import (
 	"regexp"
+	"strings"
 	"testing"
 	"time"
 
 	"pstlbench/internal/counters"
+	"pstlbench/internal/trace"
 )
 
 func TestStateLoopRunsTargetIterations(t *testing.T) {
@@ -224,5 +226,132 @@ func TestSortResults(t *testing.T) {
 	SortResults(rs)
 	if rs[0].FullName() != "a/1" || rs[2].FullName() != "b" {
 		t.Fatalf("sorted order: %v %v %v", rs[0].FullName(), rs[1].FullName(), rs[2].FullName())
+	}
+}
+
+func TestSetIterationTimeBeforeNextPanics(t *testing.T) {
+	st := &State{name: "early", target: 3}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SetIterationTime before first Next did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "before the first Next") {
+			t.Fatalf("panic message %v lacks contract explanation", r)
+		}
+	}()
+	st.SetIterationTime(0.5)
+}
+
+func TestSetIterationTimeTwicePerIterationPanics(t *testing.T) {
+	st := &State{name: "twice", target: 3}
+	st.Next()
+	st.SetIterationTime(0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second SetIterationTime in one iteration did not panic")
+		}
+	}()
+	st.SetIterationTime(0.1)
+}
+
+func TestRecordCountersTwicePerIterationPanics(t *testing.T) {
+	st := &State{name: "ctr", target: 3}
+	st.Next()
+	st.RecordCounters(counters.Set{Instructions: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second RecordCounters in one iteration did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "twice in iteration") {
+			t.Fatalf("panic message %v lacks contract explanation", r)
+		}
+	}()
+	st.RecordCounters(counters.Set{Instructions: 1})
+}
+
+func TestOncePerIterationAcrossIterationsIsFine(t *testing.T) {
+	st := &State{name: "ok", target: 5}
+	for st.Next() {
+		st.SetIterationTime(0.01)
+		st.RecordCounters(counters.Set{Instructions: 10})
+	}
+	if st.ctr.Instructions != 50 {
+		t.Fatalf("accumulated %v instructions, want 50", st.ctr.Instructions)
+	}
+}
+
+func TestSuiteTracerRecordsRegionsAndIterations(t *testing.T) {
+	tr := trace.New(1, trace.DefaultCapacity)
+	reg := counters.NewRegistry()
+	su := &Suite{Tracer: tr, Registry: reg}
+	su.Register(Benchmark{
+		Name:    "traced",
+		Args:    [][]int64{{64}},
+		MinTime: time.Millisecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(0.01)
+			}
+		},
+	})
+	rs := su.Run(nil)
+	if rs[0].Trace == nil {
+		t.Fatal("traced run has nil Result.Trace")
+	}
+	evs := tr.Events(0)
+	var regions, iters int
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.KindRegion:
+			regions++
+			if tr.NameOf(e.A0) != "traced/64" {
+				t.Fatalf("region marker names %q, want traced/64", tr.NameOf(e.A0))
+			}
+		case trace.KindIteration:
+			iters++
+		}
+	}
+	if regions == 0 || iters == 0 {
+		t.Fatalf("markers: %d regions, %d iterations", regions, iters)
+	}
+	// The region name in the trace matches the registry region fed by
+	// SetIterationTime.
+	stats := reg.Stats("traced/64")
+	if stats.Calls == 0 {
+		t.Fatal("registry has no samples under the instance name")
+	}
+	if stats.Min != 0.01 || stats.Max != 0.01 {
+		t.Fatalf("registry stats %+v, want 10ms samples", stats)
+	}
+}
+
+func TestResultTraceSummarizesFinalAttemptOnly(t *testing.T) {
+	tr := trace.New(1, trace.DefaultCapacity)
+	su := &Suite{Tracer: tr}
+	su.Register(Benchmark{
+		Name:    "window",
+		MinTime: time.Millisecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(0.01)
+			}
+		},
+	})
+	rs := su.Run(nil)
+	s := rs[0].Trace
+	if s == nil {
+		t.Fatal("nil trace summary")
+	}
+	// The final attempt saw Iterations iteration markers plus nothing else
+	// on the harness track inside the window (the region span itself ends
+	// at the window edge).
+	if s.Events == 0 {
+		t.Fatal("summary window captured no events")
+	}
+	if int(s.Events) > rs[0].Iterations+1 {
+		t.Fatalf("window captured %d events for %d iterations; leaked earlier attempts",
+			s.Events, rs[0].Iterations)
 	}
 }

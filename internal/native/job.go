@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pstlbench/internal/exec"
+	"pstlbench/internal/trace"
 )
 
 // A task word is the unit queued on the deques: the high half names a job
@@ -173,6 +174,19 @@ func (j *job) rethrow() {
 	}
 }
 
+// runChunk executes one [lo, hi) chunk of the job's body, wrapping it in a
+// KindChunk span when the pool is traced.
+func (j *job) runChunk(worker, lo, hi int) {
+	p := j.pool
+	if tb := p.tbuf(worker); tb != nil {
+		start := p.tr.Now()
+		j.body(worker, lo, hi)
+		tb.Span(trace.KindChunk, start, p.tr.Now(), int64(lo), int64(hi))
+		return
+	}
+	j.body(worker, lo, hi)
+}
+
 // runTask executes one task argument of the job on the given worker id,
 // reporting completion (and any panic) to the job.
 func (j *job) runTask(arg int32, worker int) {
@@ -181,14 +195,21 @@ func (j *job) runTask(arg int32, worker int) {
 	case kindStatic:
 		for i := int(arg); i < j.chunks; i += j.parts {
 			r := j.chunkRange(i)
-			j.body(worker, r.Lo, r.Hi)
+			j.runChunk(worker, r.Lo, r.Hi)
 		}
 	case kindBand:
 		j.runBand(int(arg), worker)
 	case kindChunk:
 		r := j.chunkRange(int(arg))
-		j.body(worker, r.Lo, r.Hi)
+		j.runChunk(worker, r.Lo, r.Hi)
 	case kindThunk:
+		p := j.pool
+		if tb := p.tbuf(worker); tb != nil {
+			start := p.tr.Now()
+			j.fns[arg]()
+			tb.Span(trace.KindChunk, start, p.tr.Now(), -1, int64(arg))
+			return
+		}
 		j.fns[arg]()
 	}
 }
@@ -208,7 +229,7 @@ func (j *job) runBand(part, worker int) {
 	for {
 		if i, ok := own.take(); ok {
 			r := j.chunkRange(int(i))
-			j.body(worker, r.Lo, r.Hi)
+			j.runChunk(worker, r.Lo, r.Hi)
 			continue
 		}
 		stolen := false
@@ -218,7 +239,7 @@ func (j *job) runBand(part, worker int) {
 		if worker < nb && worker != part {
 			if lo, hi, ok := j.bands[worker].stealHalf(); ok {
 				own.state.Store(packBand(lo, hi))
-				p.noteBandSteal(worker, false)
+				p.noteBandSteal(worker, worker, false)
 				stolen = true
 			}
 		}
@@ -235,7 +256,7 @@ func (j *job) runBand(part, worker int) {
 					}
 					if blo, bhi, ok := j.bands[b].stealHalf(); ok {
 						own.state.Store(packBand(blo, bhi))
-						p.noteBandSteal(worker, p.remoteFrom(worker, b))
+						p.noteBandSteal(worker, b, p.remoteFrom(worker, b))
 						stolen = true
 						break
 					}

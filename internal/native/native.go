@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"pstlbench/internal/exec"
+	"pstlbench/internal/trace"
 )
 
 // Strategy selects how a Pool maps loop chunks onto workers.
@@ -91,6 +92,13 @@ type Pool struct {
 	topo     []int32
 	stealOrd []stealOrder
 
+	// Event tracing (NewTraced). tr is nil on untraced pools; tbufs holds
+	// one ring per worker plus a trailing caller slot. Both are fixed at
+	// construction, before the workers start, so the worker loops read
+	// them without synchronization.
+	tr    *trace.Tracer
+	tbufs []*trace.Buf
+
 	// Job table: jobs live permanently in their slot and are recycled via
 	// the freelist, so a task word's slot half always resolves through
 	// jobTab. The table is grow-only and cells are written once, so stale
@@ -118,8 +126,24 @@ func New(workers int, strategy Strategy) *Pool {
 // LocalSteals/RemoteSteals by whether the victim shared the thief's node.
 // A zero Topology yields the flat pool New returns.
 func NewWithTopology(workers int, strategy Strategy, t Topology) *Pool {
+	return NewTraced(workers, strategy, t, nil)
+}
+
+// NewTraced creates a pool that additionally records scheduler events —
+// chunk-execution spans, steals with victim and locality tier, parks, and
+// wakeups — into tr, on wall-clock tracks 0..workers-1 (one per worker)
+// plus track `workers` for the caller pseudo-worker. The tracer must be
+// attached at construction so the worker loops can read it unsynchronized;
+// it needs at least workers+1 tracks. A nil tr yields an untraced pool:
+// every instrumented site then costs one inlined nil check (see
+// trace.BenchmarkTraceDisabled).
+func NewTraced(workers int, strategy Strategy, t Topology, tr *trace.Tracer) *Pool {
 	if workers < 1 {
 		workers = 1
+	}
+	if tr != nil && tr.Tracks() < workers+1 {
+		panic(fmt.Sprintf("native: tracer has %d tracks, pool needs %d (workers+caller)",
+			tr.Tracks(), workers+1))
 	}
 	validateTopology(t, workers)
 	p := &Pool{strategy: strategy, closeCh: make(chan struct{})}
@@ -131,6 +155,13 @@ func NewWithTopology(workers int, strategy Strategy, t Topology) *Pool {
 		p.topo[workers] = p.topo[0] // caller pseudo-worker rides with worker 0
 	}
 	p.stealOrd = buildStealOrders(workers, t)
+	if tr != nil {
+		p.tr = tr
+		p.tbufs = make([]*trace.Buf, workers+1)
+		for i := range p.tbufs {
+			p.tbufs[i] = tr.Buf(i)
+		}
+	}
 	p.injector.init()
 	p.stats = make([]schedCounters, workers+1)
 	p.callerRng.Store(0x9E3779B97F4A7C15)

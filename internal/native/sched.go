@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"pstlbench/internal/counters"
+	"pstlbench/internal/trace"
 )
 
 // SchedStats is a snapshot of the pool's scheduling counters, mirroring the
@@ -165,6 +166,31 @@ func (p *Pool) counters(worker int) *schedCounters {
 	return &p.stats[len(p.ws)]
 }
 
+// tbuf returns the worker's trace ring, or nil on an untraced pool — the
+// nil result short-circuits every record call to an inlined pointer check.
+func (p *Pool) tbuf(worker int) *trace.Buf {
+	if p.tbufs == nil {
+		return nil
+	}
+	if worker >= len(p.tbufs) {
+		worker = len(p.tbufs) - 1
+	}
+	return p.tbufs[worker]
+}
+
+// noteStealEvent records a steal instant on the thief's track. victim is
+// the worker (or band home) the work came from, -1 for the shared injector.
+func (p *Pool) noteStealEvent(tb *trace.Buf, victim int, remote bool) {
+	if tb == nil {
+		return
+	}
+	tier := int64(trace.TierLocal)
+	if remote {
+		tier = trace.TierRemote
+	}
+	tb.Instant(trace.KindSteal, p.tr.Now(), int64(victim), tier)
+}
+
 // remoteFrom reports whether worker/band home b lives on a different NUMA
 // node than scanner a (worker or caller pseudo-worker). Flat pools are
 // never remote.
@@ -172,8 +198,9 @@ func (p *Pool) remoteFrom(a, b int) bool {
 	return p.topo != nil && p.topo[a] != p.topo[b]
 }
 
-func (p *Pool) noteBandSteal(worker int, remote bool) {
+func (p *Pool) noteBandSteal(worker, victim int, remote bool) {
 	p.counters(worker).noteSteal(remote)
+	p.noteStealEvent(p.tbuf(worker), victim, remote)
 }
 
 // runWord decodes and executes one task word. The job table load is ordered
@@ -191,6 +218,7 @@ func (p *Pool) workerLoop(id int) {
 	defer p.wg.Done()
 	w := p.ws[id]
 	c := &p.stats[id]
+	tb := p.tbuf(id)
 	idleSweeps := 0
 	for {
 		if word, ok := w.dq.pop(); ok {
@@ -201,9 +229,10 @@ func (p *Pool) workerLoop(id int) {
 		if moved := w.inbox.drainTo(&w.dq); moved {
 			continue
 		}
-		if word, remote, ok := p.stealWork(id); ok {
+		if word, victim, remote, ok := p.stealWork(id); ok {
 			idleSweeps = 0
 			c.noteSteal(remote)
+			p.noteStealEvent(tb, victim, remote)
 			// Work-conserving cascade: if more work is visible, pull a
 			// sibling out of park to share it.
 			if p.idle.Load() > 0 && p.hasWork() {
@@ -219,7 +248,7 @@ func (p *Pool) workerLoop(id int) {
 			continue
 		}
 		idleSweeps = 0
-		if p.parkWorker(w, c) {
+		if p.parkWorker(w, c, tb) {
 			return // closed and drained
 		}
 	}
@@ -245,11 +274,11 @@ func (in *inbox) drainTo(d *wsDeque) bool {
 // stealWork scans the other workers' deques in proximity order — nearest
 // tier first, with a randomized start within each tier — then the shared
 // injector, then (as a last resort) the other workers' inboxes in the same
-// tier order. remote reports whether the stolen word came from a victim on
-// another NUMA node; injector pops are always local (a shared queue has no
-// home). Flat pools have a single tier, reproducing the uniform random
-// scan.
-func (p *Pool) stealWork(id int) (word uint64, remote, ok bool) {
+// tier order. victim is the worker the word came from (-1 for the shared
+// injector) and remote reports whether that victim lives on another NUMA
+// node; injector pops are always local (a shared queue has no home). Flat
+// pools have a single tier, reproducing the uniform random scan.
+func (p *Pool) stealWork(id int) (word uint64, victim int, remote, ok bool) {
 	ord := &p.stealOrd[id]
 	r := p.rand(id)
 	for retried := true; retried; {
@@ -262,7 +291,7 @@ func (p *Pool) stealWork(id int) (word uint64, remote, ok bool) {
 					v := int(ord.victims[lo+(rot+k)%tn])
 					w, got, retry := p.ws[v].dq.steal()
 					if got {
-						return w, p.remoteFrom(id, v), true
+						return w, v, p.remoteFrom(id, v), true
 					}
 					retried = retried || retry
 				}
@@ -270,7 +299,7 @@ func (p *Pool) stealWork(id int) (word uint64, remote, ok bool) {
 			lo, rr = end, rr>>8
 		}
 		if w, got, retry := p.injector.steal(); got {
-			return w, false, true
+			return w, -1, false, true
 		} else if retry {
 			retried = true
 		}
@@ -282,13 +311,13 @@ func (p *Pool) stealWork(id int) (word uint64, remote, ok bool) {
 			for k := 0; k < tn; k++ {
 				v := int(ord.victims[lo+(rot+k)%tn])
 				if w, got := p.ws[v].inbox.take(); got {
-					return w, p.remoteFrom(id, v), true
+					return w, v, p.remoteFrom(id, v), true
 				}
 			}
 		}
 		lo, rr = end, rr>>8
 	}
-	return 0, false, false
+	return 0, -1, false, false
 }
 
 // hasWork reports whether any queue in the pool holds a task. Used for the
@@ -311,7 +340,7 @@ func (p *Pool) hasWork() bool {
 // recheck order pairs with publish-then-wake in the submitters: if the
 // recheck misses a concurrent push, the pusher's idle-count read is ordered
 // after the push and sees this worker's announcement, so a token arrives.
-func (p *Pool) parkWorker(w *worker, c *schedCounters) (exit bool) {
+func (p *Pool) parkWorker(w *worker, c *schedCounters, tb *trace.Buf) (exit bool) {
 	w.parked.Store(true)
 	p.idle.Add(1)
 	if p.hasWork() || p.closed.Load() {
@@ -328,8 +357,15 @@ func (p *Pool) parkWorker(w *worker, c *schedCounters) (exit bool) {
 		return false
 	}
 	c.parks.Add(1)
+	var pstart int64
+	if tb != nil {
+		pstart = p.tr.Now()
+	}
 	select {
 	case <-w.park:
+		if tb != nil {
+			tb.Span(trace.KindPark, pstart, p.tr.Now(), 0, 0)
+		}
 		return false
 	case <-p.closeCh:
 		if w.parked.CompareAndSwap(true, false) {
@@ -337,19 +373,27 @@ func (p *Pool) parkWorker(w *worker, c *schedCounters) (exit bool) {
 		} else {
 			<-w.park
 		}
+		if tb != nil {
+			tb.Span(trace.KindPark, pstart, p.tr.Now(), 0, 0)
+		}
 		return !p.hasWork()
 	}
 }
 
-// wakeOne delivers a park token to one parked worker, if any.
+// wakeOne delivers a park token to one parked worker, if any. The wakeup
+// instant is recorded on the woken worker's track (the ring serializes the
+// cross-goroutine write).
 func (p *Pool) wakeOne() {
 	if p.idle.Load() == 0 {
 		return
 	}
-	for _, w := range p.ws {
+	for i, w := range p.ws {
 		if w.parked.CompareAndSwap(true, false) {
 			p.idle.Add(-1)
 			p.stats[len(p.ws)].wakeups.Add(1)
+			if tb := p.tbuf(i); tb != nil {
+				tb.Instant(trace.KindWakeup, p.tr.Now(), int64(i), 0)
+			}
 			w.park <- struct{}{}
 			return
 		}
@@ -389,6 +433,12 @@ func (p *Pool) wait(j *job) {
 			continue
 		}
 		c.parks.Add(1)
+		if tb := p.tbuf(callerID); tb != nil {
+			pstart := p.tr.Now()
+			j.sleep()
+			tb.Span(trace.KindPark, pstart, p.tr.Now(), 0, 0)
+			break
+		}
 		j.sleep()
 		break
 	}
@@ -399,10 +449,12 @@ func (p *Pool) wait(j *job) {
 // the workers use — the caller pseudo-worker scans with worker 0's tiers.
 func (p *Pool) scavenge(callerID int) (uint64, bool) {
 	c := p.counters(callerID)
+	tb := p.tbuf(callerID)
 	for {
 		w, ok, retry := p.injector.steal()
 		if ok {
 			c.noteSteal(false)
+			p.noteStealEvent(tb, -1, false)
 			return w, true
 		}
 		if !retry {
@@ -421,7 +473,9 @@ func (p *Pool) scavenge(callerID int) (uint64, bool) {
 					v := int(ord.victims[lo+(rot+k)%tn])
 					w, got, retry := p.ws[v].dq.steal()
 					if got {
-						c.noteSteal(p.remoteFrom(callerID, v))
+						remote := p.remoteFrom(callerID, v)
+						c.noteSteal(remote)
+						p.noteStealEvent(tb, v, remote)
 						return w, true
 					}
 					retried = retried || retry
@@ -437,7 +491,9 @@ func (p *Pool) scavenge(callerID int) (uint64, bool) {
 			for k := 0; k < tn; k++ {
 				v := int(ord.victims[lo+(rot+k)%tn])
 				if w, got := p.ws[v].inbox.take(); got {
-					c.noteSteal(p.remoteFrom(callerID, v))
+					remote := p.remoteFrom(callerID, v)
+					c.noteSteal(remote)
+					p.noteStealEvent(tb, v, remote)
 					return w, true
 				}
 			}

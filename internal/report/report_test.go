@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"pstlbench/internal/trace"
 )
 
 func TestTableAlignment(t *testing.T) {
@@ -141,5 +143,36 @@ func TestGanttRendering(t *testing.T) {
 	empty := Gantt{Rows: []GanttRow{{Label: "idle"}}}
 	if !strings.Contains(empty.String(), "(no spans)") {
 		t.Fatal("empty gantt should say so")
+	}
+}
+
+func TestTraceTimeline(t *testing.T) {
+	tr := trace.New(2, 256)
+	tr.SetLabel(0, "worker 0")
+	tr.SetLabel(1, "worker 1")
+	ms := int64(1e6)
+	b0, b1 := tr.Buf(0), tr.Buf(1)
+	b0.Span(trace.KindChunk, 0, 5*ms, 0, 100)
+	b0.Span(trace.KindChunk, 6*ms, 10*ms, 100, 200)
+	b1.Instant(trace.KindSteal, 1*ms, 0, trace.TierRemote)
+	b1.Span(trace.KindChunk, 2*ms, 9*ms, 200, 300)
+	b1.Span(trace.KindPark, 9*ms, 10*ms, 0, 0)
+	s := trace.Summarize(tr)
+	tracks := [][]trace.Event{tr.Events(0), tr.Events(1)}
+	out := TraceTimeline(tracks, tr.Labels(), s, 40)
+	for _, want := range []string{"worker 0", "worker 1", "#", "s", "p", "chunks", "steals(rem)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "lost") {
+		t.Fatalf("timeline reports loss without overflow:\n%s", out)
+	}
+}
+
+func TestTraceTimelineEmpty(t *testing.T) {
+	out := TraceTimeline(nil, nil, nil, 40)
+	if !strings.Contains(out, "no spans") {
+		t.Fatalf("empty timeline output: %q", out)
 	}
 }

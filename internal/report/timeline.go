@@ -1,0 +1,90 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"pstlbench/internal/trace"
+)
+
+// TraceTimeline renders a trace as a terminal view: an ASCII Gantt of the
+// chunk spans (one row per worker or core, '#' busy, 's' steal instants,
+// 'p' parks), a per-track statistics table, and the idle-gap histogram —
+// the quick-look companion to the Chrome-trace export.
+func TraceTimeline(tracks [][]trace.Event, labels []string, s *trace.Summary, width int) string {
+	var b strings.Builder
+	clock := "wall"
+	if s != nil && s.Virtual {
+		clock = "virtual"
+	}
+	title := fmt.Sprintf("schedule (%s time)", clock)
+	g := &Gantt{Title: title, Width: width}
+	base := int64(0)
+	if s != nil {
+		base = int64(s.Start * 1e9)
+	}
+	for ti, evs := range tracks {
+		label := fmt.Sprintf("track %d", ti)
+		if ti < len(labels) && labels[ti] != "" {
+			label = labels[ti]
+		}
+		row := GanttRow{Label: label}
+		for _, e := range evs {
+			start := float64(e.Start-base) * 1e-9
+			end := float64(e.End-base) * 1e-9
+			switch e.Kind {
+			case trace.KindChunk:
+				row.Spans = append(row.Spans, Span{Start: start, End: end})
+			case trace.KindSteal:
+				row.Spans = append(row.Spans, Span{Start: start, End: start, Mark: 's'})
+			case trace.KindPark:
+				row.Spans = append(row.Spans, Span{Start: start, End: end, Mark: 'p'})
+			}
+		}
+		if len(row.Spans) > 0 {
+			g.Rows = append(g.Rows, row)
+		}
+	}
+	b.WriteString(g.String())
+	b.WriteString("  (# chunk  s steal  p park)\n")
+	if s == nil {
+		return b.String()
+	}
+
+	tbl := &Table{Headers: []string{
+		"track", "chunks", "busy", "chunk p50/p95/max", "steals(rem)", "steal->work p50", "parks",
+	}}
+	for _, ts := range s.Tracks {
+		if ts.Chunks == 0 && ts.LocalSteals == 0 && ts.RemoteSteals == 0 && ts.Parks == 0 {
+			continue
+		}
+		label := ts.Label
+		if label == "" {
+			label = fmt.Sprintf("track %d", ts.Track)
+		}
+		s2w := "-"
+		if ts.StealToWork.Count > 0 {
+			s2w = fmtShort(ts.StealToWork.P50)
+		}
+		tbl.AddRow(
+			label,
+			fmt.Sprintf("%d", ts.Chunks),
+			fmtShort(ts.BusySeconds),
+			ts.Chunk.String(),
+			fmt.Sprintf("%d(%d)", ts.LocalSteals+ts.RemoteSteals, ts.RemoteSteals),
+			s2w,
+			fmt.Sprintf("%d", ts.Parks),
+		)
+	}
+	b.WriteString("\n")
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "\nevents: %d", s.Events)
+	if s.Lost > 0 {
+		fmt.Fprintf(&b, " (lost %d to ring overflow)", s.Lost)
+	}
+	fmt.Fprintf(&b, "  span: %s\n", fmtShort(s.End-s.Start))
+	if s.IdleGap.Total() > 0 {
+		fmt.Fprintf(&b, "idle gaps: %s\n", s.IdleGap)
+	}
+	return b.String()
+}

@@ -22,6 +22,7 @@ import (
 	"pstlbench/internal/machine"
 	"pstlbench/internal/memsys"
 	"pstlbench/internal/skeleton"
+	"pstlbench/internal/trace"
 )
 
 // Config describes one simulated benchmark invocation.
@@ -48,6 +49,13 @@ type Config struct {
 	// into Result.Trace — the raw material for Gantt-style schedule
 	// inspection.
 	Trace bool
+
+	// Tracer, when non-nil, receives the schedule as typed events in
+	// virtual time: one track per simulated core (chunk spans carrying
+	// element ranges, steal/wakeup/park instants), stamped relative to the
+	// tracer's cursor so successive invocations stack end-to-end on one
+	// timeline. Must be a virtual-time tracer with at least Threads tracks.
+	Tracer *trace.Tracer
 }
 
 // TaskSpan is one scheduled task execution in a trace.
@@ -117,19 +125,58 @@ func Run(cfg Config) Result {
 	}
 	placement := allocsim.Placement(cfg.Machine, cfg.Threads, alloc)
 
+	st := newSimTrace(cfg.Tracer, cfg.Threads)
+
 	var total float64
 	var ctr counters.Set
-	var trace []TaskSpan
+	var spans []TaskSpan
 	for pi, ph := range phases {
 		var sink *[]TaskSpan
 		if cfg.Trace {
-			sink = &trace
+			sink = &spans
 		}
-		t := runPhase(cfg, ph, tr, parallel, level, placement, alloc, &ctr, pi, total, sink)
+		t := runPhase(cfg, ph, tr, parallel, level, placement, alloc, &ctr, pi, total, sink, st)
 		total += t
 	}
 	ctr.Seconds = total
-	return Result{Seconds: total, Counters: ctr, Level: level, Parallel: parallel, Trace: trace}
+	// Advance the shared virtual clock past this invocation so the next
+	// simulated call starts where this one ended on the same timeline.
+	if st != nil {
+		st.tr.Advance(int64(total * 1e9))
+	}
+	return Result{Seconds: total, Counters: ctr, Level: level, Parallel: parallel, Trace: spans}
+}
+
+// simTrace adapts the phase simulation to a virtual-time tracer: it fixes
+// the invocation's origin at the tracer's current cursor and converts
+// phase-relative seconds into absolute virtual nanoseconds. A nil *simTrace
+// disables every emission.
+type simTrace struct {
+	tr   *trace.Tracer
+	base int64 // cursor at invocation start, ns
+}
+
+func newSimTrace(tr *trace.Tracer, threads int) *simTrace {
+	if tr == nil {
+		return nil
+	}
+	if !tr.Virtual() {
+		panic("simexec: Config.Tracer must be a virtual-time tracer (trace.NewVirtual)")
+	}
+	if tr.Tracks() < threads {
+		panic(fmt.Sprintf("simexec: tracer has %d tracks, need >= %d (one per core)", tr.Tracks(), threads))
+	}
+	return &simTrace{tr: tr, base: tr.Now()}
+}
+
+// at converts an invocation-relative time in seconds to virtual ns.
+func (st *simTrace) at(sec float64) int64 { return st.base + int64(sec*1e9) }
+
+func (st *simTrace) buf(core int) *trace.Buf {
+	if st == nil {
+		return nil
+	}
+	return st.tr.Buf(core)
 }
 
 // workingSet returns the bytes the benchmark loop touches repeatedly.
@@ -167,7 +214,8 @@ type runTask struct {
 // counters into ctr.
 func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 	level memsys.Level, placement memsys.Placement, alloc allocsim.Strategy,
-	ctr *counters.Set, phaseIdx int, phaseOffset float64, trace *[]TaskSpan) float64 {
+	ctr *counters.Set, phaseIdx int, phaseOffset float64, sink *[]TaskSpan,
+	st *simTrace) float64 {
 
 	m := cfg.Machine
 	b := cfg.Backend
@@ -216,6 +264,17 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 		// traffic does not carry the parallel implementation's extra
 		// passes.
 		memFactor = 1
+	}
+
+	// Element prefix over the phase's tasks: task i covers elements
+	// [elemLo[i], elemLo[i+1]) of the phase's iteration space — the lo/hi
+	// annotation its chunk spans carry in the trace.
+	var elemLo []int64
+	if st != nil {
+		elemLo = make([]int64, len(ph.Tasks)+1)
+		for i, t := range ph.Tasks {
+			elemLo[i+1] = elemLo[i] + int64(math.Round(t.Elems))
+		}
 	}
 
 	tasks := make([]*runTask, len(ph.Tasks))
@@ -348,15 +407,26 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 				// steal.
 				if b.Strategy == backend.StrategyQueue {
 					ctr.LocalSteals++
+					if tb := st.buf(c); tb != nil {
+						tb.Instant(trace.KindSteal, st.at(phaseOffset+forkCost+now), -1, trace.TierLocal)
+					}
 				} else if hc := homeCore(ti); hc != c {
+					tier := int64(trace.TierLocal)
 					if m.NodeOf(hc) != m.NodeOf(c) {
 						ctr.RemoteSteals++
+						tier = trace.TierRemote
 					} else {
 						ctr.LocalSteals++
+					}
+					if tb := st.buf(c); tb != nil {
+						tb.Instant(trace.KindSteal, st.at(phaseOffset+forkCost+now), int64(hc), tier)
 					}
 				}
 			}
 			ctr.Wakeups++
+			if tb := st.buf(c); tb != nil {
+				tb.Instant(trace.KindWakeup, st.at(phaseOffset+forkCost+now), int64(c), 0)
+			}
 			t := tasks[ti]
 			start := now + b.TaskCost
 			if b.Strategy == backend.StrategyQueue {
@@ -476,13 +546,22 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 					// Nothing left to hand out: the core parks for the
 					// rest of the phase while stragglers finish.
 					ctr.Parks++
+					if tb := st.buf(t.core); tb != nil {
+						tb.Instant(trace.KindPark, st.at(phaseOffset+forkCost+tNext), 0, 0)
+					}
 				}
-				if trace != nil {
-					*trace = append(*trace, TaskSpan{
+				if sink != nil {
+					*sink = append(*sink, TaskSpan{
 						Phase: phaseIdx, Task: t.idx, Core: t.core,
 						Start: phaseOffset + forkCost + t.startAt,
 						End:   phaseOffset + forkCost + tNext,
 					})
+				}
+				if tb := st.buf(t.core); tb != nil {
+					tb.Span(trace.KindChunk,
+						st.at(phaseOffset+forkCost+t.startAt),
+						st.at(phaseOffset+forkCost+tNext),
+						elemLo[t.idx], elemLo[t.idx+1])
 				}
 				if t.earlyExit {
 					phaseEnded = true
@@ -494,15 +573,21 @@ func runPhase(cfg Config, ph skeleton.Phase, tr backend.OpTraits, parallel bool,
 			// Cancellation: remaining tasks stop here; their partial
 			// work is already in the counters. Record the truncated
 			// spans.
-			if trace != nil {
-				for _, t := range tasks {
-					if t.running && t.startAt <= now {
-						*trace = append(*trace, TaskSpan{
+			for _, t := range tasks {
+				if t.running && t.startAt <= now {
+					if sink != nil {
+						*sink = append(*sink, TaskSpan{
 							Phase: phaseIdx, Task: t.idx, Core: t.core,
 							Start:     phaseOffset + forkCost + t.startAt,
 							End:       phaseOffset + forkCost + now,
 							Truncated: true,
 						})
+					}
+					if tb := st.buf(t.core); tb != nil {
+						tb.Span(trace.KindChunk,
+							st.at(phaseOffset+forkCost+t.startAt),
+							st.at(phaseOffset+forkCost+now),
+							elemLo[t.idx], elemLo[t.idx+1])
 					}
 				}
 			}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export/import: the JSON object format understood by
+// chrome://tracing and Perfetto (ui.perfetto.dev). Spans become complete
+// ("X") events and instants become instant ("i") events, one thread (tid)
+// per track, with thread_name metadata labelling workers/cores; timestamps
+// are microseconds as the format requires. The top-level otherData block
+// records the clock domain and lost-event count so a parsed file can be
+// summarized like a live tracer.
+
+// chromeEvent is one entry of the traceEvents array (both directions).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is a parsed Chrome trace-event file.
+type ChromeTrace struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+}
+
+// WriteChrome streams the tracer's events as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("trace: WriteChrome on a nil tracer")
+	}
+	bw := bufio.NewWriter(w)
+	clock := "wall"
+	if t.Virtual() {
+		clock = "virtual"
+	}
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":%q,\"lostEvents\":%d},\"traceEvents\":[",
+		clock, t.Lost())
+	first := true
+	emit := func(e chromeEvent) error {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n")
+		bw.Write(raw)
+		first = false
+		return nil
+	}
+	if err := emit(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": fmt.Sprintf("pstlbench (%s clock)", clock)},
+	}); err != nil {
+		return err
+	}
+	for ti := 0; ti < t.Tracks(); ti++ {
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: ti,
+			Args: map[string]any{"name": t.Label(ti)},
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: ti,
+			Args: map[string]any{"sort_index": ti},
+		}); err != nil {
+			return err
+		}
+		for _, e := range t.Events(ti) {
+			if err := emit(t.chromeOf(e, ti)); err != nil {
+				return err
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// chromeOf converts one Event to its Chrome representation.
+func (t *Tracer) chromeOf(e Event, tid int) chromeEvent {
+	ce := chromeEvent{Pid: 0, Tid: tid, Ts: float64(e.Start) / 1e3, Name: e.Kind.String()}
+	switch e.Kind {
+	case KindChunk:
+		ce.Args = map[string]any{"lo": e.A0, "hi": e.A1}
+	case KindSteal:
+		tier := "local"
+		if e.A1 == TierRemote {
+			tier = "remote"
+		}
+		ce.Args = map[string]any{"victim": e.A0, "tier": tier}
+	case KindWakeup:
+		ce.Args = map[string]any{"worker": e.A0}
+	case KindRegion:
+		if name := t.NameOf(e.A0); name != "" {
+			ce.Name = name
+		}
+		ce.Args = map[string]any{"region": ce.Name}
+	case KindIteration:
+		ce.Args = map[string]any{"iteration": e.A0}
+	}
+	if e.End > e.Start {
+		ce.Ph = "X"
+		ce.Dur = float64(e.End-e.Start) / 1e3
+	} else {
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	return ce
+}
+
+// ReadChrome parses a Chrome trace-event JSON file (as written by
+// WriteChrome; the array-only form is also accepted).
+func ReadChrome(r io.Reader) (*ChromeTrace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		// JSON array form: bare traceEvents.
+		var evs []chromeEvent
+		if aerr := json.Unmarshal(data, &evs); aerr != nil {
+			return nil, fmt.Errorf("trace: not a Chrome trace file: %v", err)
+		}
+		ct = ChromeTrace{TraceEvents: evs}
+	}
+	return &ct, nil
+}
+
+// Validate checks the parsed file against the Chrome trace-event shape the
+// suite emits: a non-empty event array, known phase letters, microsecond
+// timestamps that are finite and non-negative relative durations, and scoped
+// instants.
+func (ct *ChromeTrace) Validate() error {
+	if len(ct.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents array")
+	}
+	for i, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): negative dur %v", i, e.Name, e.Dur)
+			}
+		case "i":
+			if e.S == "" {
+				return fmt.Errorf("trace: event %d (%s): instant without scope", i, e.Name)
+			}
+		case "M", "B", "E", "b", "e", "n", "C":
+			// Metadata and other standard phases: accepted.
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if e.Tid < 0 {
+			return fmt.Errorf("trace: event %d (%s): negative tid", i, e.Name)
+		}
+	}
+	return nil
+}
+
+// Virtual reports whether the file was recorded in virtual time.
+func (ct *ChromeTrace) Virtual() bool {
+	clock, _ := ct.OtherData["clock"].(string)
+	return clock == "virtual"
+}
+
+// LostEvents returns the ring-eviction count recorded in the file.
+func (ct *ChromeTrace) LostEvents() uint64 {
+	if v, ok := ct.OtherData["lostEvents"].(float64); ok && v > 0 {
+		return uint64(v)
+	}
+	return 0
+}
+
+// Tracks reconstructs per-track event slices and labels from the parsed
+// file, the inverse of WriteChrome (region names collapse to KindRegion
+// spans; unknown event names are treated as regions).
+func (ct *ChromeTrace) Tracks() (tracks [][]Event, labels []string) {
+	maxTid := 0
+	for _, e := range ct.TraceEvents {
+		if e.Tid > maxTid {
+			maxTid = e.Tid
+		}
+	}
+	tracks = make([][]Event, maxTid+1)
+	labels = make([]string, maxTid+1)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("track %d", i)
+	}
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				if name, ok := e.Args["name"].(string); ok {
+					labels[e.Tid] = name
+				}
+			}
+			continue
+		}
+		if e.Ph != "X" && e.Ph != "i" {
+			continue
+		}
+		ev := Event{Start: int64(e.Ts * 1e3), End: int64((e.Ts + e.Dur) * 1e3)}
+		argInt := func(key string) int64 {
+			if v, ok := e.Args[key].(float64); ok {
+				return int64(v)
+			}
+			return 0
+		}
+		switch e.Name {
+		case "chunk":
+			ev.Kind = KindChunk
+			ev.A0, ev.A1 = argInt("lo"), argInt("hi")
+		case "steal":
+			ev.Kind = KindSteal
+			ev.A0 = argInt("victim")
+			if tier, _ := e.Args["tier"].(string); tier == "remote" {
+				ev.A1 = TierRemote
+			}
+		case "park":
+			ev.Kind = KindPark
+		case "wakeup":
+			ev.Kind = KindWakeup
+			ev.A0 = argInt("worker")
+		case "iteration":
+			ev.Kind = KindIteration
+			ev.A0 = argInt("iteration")
+		default:
+			ev.Kind = KindRegion
+		}
+		tracks[e.Tid] = append(tracks[e.Tid], ev)
+	}
+	return tracks, labels
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildTracer() *Tracer {
+	tr := New(3, 64)
+	tr.SetLabel(0, "worker 0")
+	tr.SetLabel(1, "worker 1")
+	tr.SetLabel(2, "harness")
+	ms := int64(1e6)
+	b0 := tr.Buf(0)
+	b0.Span(KindChunk, 0, 2*ms, 0, 512)
+	b0.Instant(KindSteal, 2*ms, 1, TierRemote)
+	b0.Span(KindChunk, 3*ms, 4*ms, 512, 1024)
+	b1 := tr.Buf(1)
+	b1.Span(KindPark, 0, 1*ms, 0, 0)
+	b1.Instant(KindWakeup, 1*ms, 1, 0)
+	h := tr.Buf(2)
+	h.Span(KindRegion, 0, 4*ms, tr.Intern("reduce/native/stealing/1024"), 0)
+	h.Instant(KindIteration, 0, 0, 0)
+	return tr
+}
+
+func TestChromeExportShape(t *testing.T) {
+	tr := buildTracer()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"traceEvents"`, `"ph":"X"`, `"ph":"i"`, `"ph":"M"`,
+		`"thread_name"`, `"worker 0"`, `"victim":1`, `"tier":"remote"`,
+		`"reduce/native/stealing/1024"`, `"clock":"wall"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %s in:\n%s", want, out)
+		}
+	}
+	ct, err := ReadChrome(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ReadChrome: %v", err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := buildTracer()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Virtual() {
+		t.Fatal("wall trace read back as virtual")
+	}
+	tracks, labels := ct.Tracks()
+	if len(tracks) != 3 || labels[0] != "worker 0" || labels[2] != "harness" {
+		t.Fatalf("tracks=%d labels=%v", len(tracks), labels)
+	}
+	// Events survive with kinds, args and timestamps intact.
+	want := map[Kind]int{KindChunk: 2, KindSteal: 1}
+	got := map[Kind]int{}
+	for _, e := range tracks[0] {
+		got[e.Kind]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("track 0 %v count = %d, want %d", k, got[k], n)
+		}
+	}
+	var steal Event
+	for _, e := range tracks[0] {
+		if e.Kind == KindSteal {
+			steal = e
+		}
+	}
+	if steal.A0 != 1 || steal.A1 != TierRemote {
+		t.Fatalf("steal round-trip: %+v", steal)
+	}
+	if len(tracks[1]) != 2 || tracks[1][0].Kind != KindPark || tracks[1][1].Kind != KindWakeup {
+		t.Fatalf("track 1 round-trip: %+v", tracks[1])
+	}
+	if tracks[2][0].Kind != KindRegion {
+		t.Fatalf("region not recovered: %+v", tracks[2][0])
+	}
+	// A summary over the parsed events matches one over the live tracer.
+	live := Summarize(tr)
+	parsed := SummarizeEvents(tracks, labels, ct.Virtual(), -1<<62, 1<<62)
+	if live.Tracks[0].Chunks != parsed.Tracks[0].Chunks ||
+		live.Tracks[0].RemoteSteals != parsed.Tracks[0].RemoteSteals {
+		t.Fatalf("live %+v != parsed %+v", live.Tracks[0], parsed.Tracks[0])
+	}
+}
+
+func TestChromeVirtualClockMarking(t *testing.T) {
+	tr := NewVirtual(1, 16)
+	tr.Buf(0).Span(KindChunk, 0, 1000, 0, 8)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Virtual() {
+		t.Fatal("virtual trace not marked as virtual")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"name":"x","ph":"Z","pid":0,"tid":0,"ts":0}]}`,
+		`{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":0,"dur":-5}]}`,
+		`{"traceEvents":[{"name":"","ph":"X","pid":0,"tid":0,"ts":0}]}`,
+		`{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0,"ts":0}]}`,
+	}
+	for i, c := range cases {
+		ct, err := ReadChrome(strings.NewReader(c))
+		if err != nil {
+			t.Fatalf("case %d failed to parse: %v", i, err)
+		}
+		if err := ct.Validate(); err == nil {
+			t.Fatalf("case %d passed validation: %s", i, c)
+		}
+	}
+	if _, err := ReadChrome(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage parsed as a trace")
+	}
+}
+
+func TestReadChromeArrayForm(t *testing.T) {
+	ct, err := ReadChrome(strings.NewReader(
+		`[{"name":"chunk","ph":"X","pid":0,"tid":0,"ts":1,"dur":2}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tracks, _ := ct.Tracks()
+	if len(tracks) != 1 || tracks[0][0].Kind != KindChunk {
+		t.Fatalf("array form tracks: %+v", tracks)
+	}
+}

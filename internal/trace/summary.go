@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dist is a latency distribution derived from the event stream.
+type Dist struct {
+	Count         int
+	P50, P95, Max float64 // seconds
+}
+
+func (d Dist) String() string {
+	if d.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%s/%s", fmtSeconds(d.P50), fmtSeconds(d.P95), fmtSeconds(d.Max))
+}
+
+// histBounds are the idle-gap histogram bucket upper bounds in seconds; the
+// last bucket is unbounded.
+var histBounds = [...]float64{1e-6, 10e-6, 100e-6, 1e-3, 10e-3}
+
+// histLabels label the buckets for rendering.
+var histLabels = [...]string{"<1us", "<10us", "<100us", "<1ms", "<10ms", ">=10ms"}
+
+// Hist is a logarithmic duration histogram (idle gaps between chunk spans).
+type Hist struct {
+	Counts [len(histBounds) + 1]int
+}
+
+// Observe adds one duration sample (seconds).
+func (h *Hist) Observe(sec float64) {
+	for i, b := range histBounds {
+		if sec < b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(histBounds)]++
+}
+
+// Add accumulates o into h.
+func (h *Hist) Add(o Hist) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+}
+
+// Total returns the sample count.
+func (h Hist) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// String renders the non-empty buckets ("<1us:12 <10us:3").
+func (h Hist) String() string {
+	var parts []string
+	for i, c := range h.Counts {
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", histLabels[i], c))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// TrackStats are the per-worker (or per-core) statistics of one track.
+type TrackStats struct {
+	Track int
+	Label string
+
+	Chunks       int
+	LocalSteals  int
+	RemoteSteals int
+	Parks        int
+	Wakeups      int
+
+	// BusySeconds is the union length of the track's chunk spans (nested
+	// spans from helping are not double-counted).
+	BusySeconds float64
+	// Chunk is the chunk-execution latency distribution.
+	Chunk Dist
+	// StealToWork measures steal instant -> start of the next chunk span
+	// on the same track: how long stolen work waits before running.
+	StealToWork Dist
+	// IdleGap is the histogram of gaps between consecutive busy intervals.
+	IdleGap Hist
+}
+
+// Summary aggregates distributions over a trace, per track and overall —
+// the per-worker view the adaptive-grain tuner and the report tables
+// consume.
+type Summary struct {
+	// Virtual marks virtual-time (simulated) traces.
+	Virtual bool
+	// Start and End bound the summarized events, in seconds.
+	Start, End float64
+	// Events counts summarized events; Lost counts ring evictions (filled
+	// from the tracer; 0 when summarizing parsed files without metadata).
+	Events uint64
+	Lost   uint64
+
+	Tracks []TrackStats
+
+	// Aggregates across every track.
+	Chunk       Dist
+	StealToWork Dist
+	IdleGap     Hist
+}
+
+// Summarize derives distributions from every event currently held by the
+// tracer. Nil tracers summarize to nil.
+func Summarize(t *Tracer) *Summary {
+	return SummarizeWindow(t, math.MinInt64, math.MaxInt64)
+}
+
+// SummarizeWindow summarizes only events lying fully inside [from, to]
+// (nanoseconds in the tracer's clock domain) — used to attribute events to
+// one measured region.
+func SummarizeWindow(t *Tracer, from, to int64) *Summary {
+	if t == nil {
+		return nil
+	}
+	tracks := make([][]Event, t.Tracks())
+	for i := range tracks {
+		tracks[i] = t.Events(i)
+	}
+	s := SummarizeEvents(tracks, t.Labels(), t.Virtual(), from, to)
+	s.Lost = t.Lost()
+	return s
+}
+
+// SummarizeEvents summarizes explicit per-track event slices (as produced
+// by Tracer.Events or parsed back from a Chrome trace file).
+func SummarizeEvents(tracks [][]Event, labels []string, virtual bool, from, to int64) *Summary {
+	s := &Summary{Virtual: virtual}
+	tmin, tmax := int64(math.MaxInt64), int64(math.MinInt64)
+	var allChunks, allSteal []float64
+	for ti, evs := range tracks {
+		ts := TrackStats{Track: ti}
+		if ti < len(labels) {
+			ts.Label = labels[ti]
+		}
+		var chunkDur, stealLat []float64
+		var spans []Event   // chunk spans, for busy union and idle gaps
+		var stealAt []int64 // steal instants
+		var chunkStart []int64
+		for _, e := range evs {
+			if e.Start < from || e.End > to {
+				continue
+			}
+			s.Events++
+			if e.Start < tmin {
+				tmin = e.Start
+			}
+			if e.End > tmax {
+				tmax = e.End
+			}
+			switch e.Kind {
+			case KindChunk:
+				ts.Chunks++
+				chunkDur = append(chunkDur, e.Duration())
+				spans = append(spans, e)
+				chunkStart = append(chunkStart, e.Start)
+			case KindSteal:
+				if e.A1 == TierRemote {
+					ts.RemoteSteals++
+				} else {
+					ts.LocalSteals++
+				}
+				stealAt = append(stealAt, e.Start)
+			case KindPark:
+				ts.Parks++
+			case KindWakeup:
+				ts.Wakeups++
+			}
+		}
+		// Steal-to-work latency: each steal matched with the first chunk
+		// span starting at or after it.
+		sort.Slice(chunkStart, func(i, j int) bool { return chunkStart[i] < chunkStart[j] })
+		for _, at := range stealAt {
+			k := sort.Search(len(chunkStart), func(i int) bool { return chunkStart[i] >= at })
+			if k < len(chunkStart) {
+				stealLat = append(stealLat, float64(chunkStart[k]-at)*1e-9)
+			}
+		}
+		// Busy union and idle gaps over merged chunk intervals (nested
+		// spans from helping overlap; merging avoids double counting).
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		var busyEnd int64
+		started := false
+		for _, e := range spans {
+			if !started {
+				busyEnd, started = e.End, true
+				continue
+			}
+			if e.Start > busyEnd {
+				ts.IdleGap.Observe(float64(e.Start-busyEnd) * 1e-9)
+				busyEnd = e.End
+				continue
+			}
+			if e.End > busyEnd {
+				busyEnd = e.End
+			}
+		}
+		ts.BusySeconds = busyUnion(spans)
+		ts.Chunk = makeDist(chunkDur)
+		ts.StealToWork = makeDist(stealLat)
+		allChunks = append(allChunks, chunkDur...)
+		allSteal = append(allSteal, stealLat...)
+		s.IdleGap.Add(ts.IdleGap)
+		s.Tracks = append(s.Tracks, ts)
+	}
+	if tmin <= tmax {
+		s.Start = float64(tmin) * 1e-9
+		s.End = float64(tmax) * 1e-9
+	}
+	s.Chunk = makeDist(allChunks)
+	s.StealToWork = makeDist(allSteal)
+	return s
+}
+
+// busyUnion returns the union length in seconds of spans sorted by Start.
+func busyUnion(spans []Event) float64 {
+	var total int64
+	var curLo, curHi int64
+	started := false
+	for _, e := range spans {
+		if !started {
+			curLo, curHi, started = e.Start, e.End, true
+			continue
+		}
+		if e.Start > curHi {
+			total += curHi - curLo
+			curLo, curHi = e.Start, e.End
+			continue
+		}
+		if e.End > curHi {
+			curHi = e.End
+		}
+	}
+	if started {
+		total += curHi - curLo
+	}
+	return float64(total) * 1e-9
+}
+
+// makeDist computes the percentile summary of samples (seconds).
+func makeDist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sort.Float64s(xs)
+	pick := func(q float64) float64 { return xs[int(q*float64(len(xs)-1)+0.5)] }
+	return Dist{
+		Count: len(xs),
+		P50:   pick(0.50),
+		P95:   pick(0.95),
+		Max:   xs[len(xs)-1],
+	}
+}
+
+// fmtSeconds formats a duration compactly for summaries.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3gs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3gus", s*1e6)
+	default:
+		return fmt.Sprintf("%.3gns", s*1e9)
+	}
+}
