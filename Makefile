@@ -15,9 +15,10 @@ test:
 
 # Race-check the concurrency-heavy packages: the work-stealing scheduler,
 # the algorithms that drive it, the event-tracing layer its workers write
-# to, and the simulator that emits virtual-time traces.
+# to, the simulator that emits virtual-time traces, and the adaptive
+# grain tuner fed concurrently by harness observations.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/trace/... ./internal/simexec/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/trace/... ./internal/simexec/... ./internal/tune/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .

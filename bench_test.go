@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"pstlbench/internal/allocsim"
 	"pstlbench/internal/backend"
@@ -22,6 +23,7 @@ import (
 	"pstlbench/internal/simexec"
 	"pstlbench/internal/skeleton"
 	"pstlbench/internal/stream"
+	"pstlbench/internal/tune"
 )
 
 // benchScale reduces the paper's 2^30 to 2^22 for the -bench runs.
@@ -61,6 +63,7 @@ func BenchmarkFig8GPUForEach(b *testing.B)     { runExperiment(b, "fig8") }
 func BenchmarkFig9GPUReduce(b *testing.B)      { runExperiment(b, "fig9") }
 func BenchmarkExtARM(b *testing.B)             { runExperiment(b, "ext-arm") }
 func BenchmarkExtNUMASteal(b *testing.B)       { runExperiment(b, "ext-numasteal") }
+func BenchmarkExtAdaptive(b *testing.B)        { runExperiment(b, "ext-adaptive") }
 func BenchmarkAblGrain(b *testing.B)           { runExperiment(b, "abl-grain") }
 func BenchmarkAblContention(b *testing.B)      { runExperiment(b, "abl-contention") }
 func BenchmarkAblCheapFutures(b *testing.B)    { runExperiment(b, "abl-hpx") }
@@ -209,6 +212,106 @@ func BenchmarkSchedulerOverhead(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAdaptiveGrain compares fixed, auto, and adaptive grain
+// selection on the native library's for_each and reduce, and measures the
+// tuner's decision overhead. The adaptive sub-benchmarks drive a real
+// propose/observe loop from the pool's scheduler counters — the steady
+// state after convergence is one locked proposal plus one observation per
+// call, which the decision-overhead sub-benchmark pins at well under 1 µs
+// with zero allocations.
+func BenchmarkAdaptiveGrain(b *testing.B) {
+	const n = 1 << 20
+	workers := runtime.GOMAXPROCS(0)
+	grains := []struct {
+		name string
+		g    exec.Grain
+	}{
+		{"static", exec.Static},
+		{"auto", exec.Auto},
+		{"fine", exec.Fine},
+	}
+	algos := []struct {
+		name string
+		run  func(p core.Policy, data []float64)
+	}{
+		{"for_each", func(p core.Policy, data []float64) {
+			core.ForEach(p, data, func(v *float64) { *v++ })
+		}},
+		{"reduce", func(p core.Policy, data []float64) {
+			if core.Sum(p, data, 0) < 0 {
+				b.Fatal("unreachable")
+			}
+		}},
+	}
+	for _, a := range algos {
+		a := a
+		for _, g := range grains {
+			g := g
+			b.Run(fmt.Sprintf("%s/%s", a.name, g.name), func(b *testing.B) {
+				pool := native.New(workers, native.StrategyStealing)
+				defer pool.Close()
+				p := core.Par(pool).WithGrain(g.g)
+				data := make([]float64, n)
+				b.SetBytes(n * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a.run(p, data)
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("%s/adaptive", a.name), func(b *testing.B) {
+			pool := native.New(workers, native.StrategyStealing)
+			defer pool.Close()
+			tuner := tune.New(tune.Options{})
+			p := core.Par(pool).WithGrainSource(tuner.Site(a.name))
+			key := tune.Key{Site: a.name, N: n, Workers: pool.Workers()}
+			data := make([]float64, n)
+			b.SetBytes(n * 8)
+			b.ResetTimer()
+			prev := pool.Stats()
+			for i := 0; i < b.N; i++ {
+				start := nowSeconds()
+				a.run(p, data)
+				cur := pool.Stats()
+				obs := tune.FromCounters(cur.Sub(prev).Counters())
+				obs.Seconds = nowSeconds() - start
+				tuner.Observe(key, obs)
+				prev = cur
+			}
+			b.StopTimer()
+			if chunk, _, ok := tuner.Best(key); ok {
+				b.ReportMetric(float64(chunk), "chunk")
+			}
+		})
+	}
+
+	// Decision overhead: one Propose + one Observe against a converged
+	// operating point — the tuner work added to every tuned invocation.
+	b.Run("decision-overhead", func(b *testing.B) {
+		tuner := tune.New(tune.Options{})
+		key := tune.Key{Site: "overhead", N: n, Workers: workers}
+		// Drive to the locked steady state first.
+		for i := 0; i < 16; i++ {
+			tuner.Propose(key)
+			tuner.Observe(key, tune.Observation{Seconds: 1e-3})
+		}
+		if !tuner.Converged(key) {
+			b.Fatal("tuner did not lock during warmup")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tuner.Propose(key)
+			tuner.Observe(key, tune.Observation{Seconds: 1e-3})
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/decision")
+	})
+}
+
+// nowSeconds is a monotonic second count for manual interval timing.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) * 1e-9 }
 
 // BenchmarkNUMASteal exercises the tiered victim scan against the flat one
 // on an imbalanced workload that forces stealing: the first chunk band

@@ -38,6 +38,7 @@ import (
 	"pstlbench/internal/simexec"
 	"pstlbench/internal/skeleton"
 	"pstlbench/internal/trace"
+	"pstlbench/internal/tune"
 )
 
 func main() {
@@ -55,6 +56,8 @@ func main() {
 		numaSteal = flag.Bool("numa-steal", false, "NUMA-aware steal order: scan same-node victims before remote ones (sim: stealing backends; native: workers pinned to the -machine topology)")
 		workers   = flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
 		minTime   = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per benchmark (native mode)")
+		grainName = flag.String("grain", "", "grain policy: auto, static, fine, guided, or adaptive (online tuner keyed by loop site/size/workers; sim mode overrides the backend's own grain)")
+		tuneCache = flag.String("tune-cache", "", "JSON tuning-cache file for -grain=adaptive: imported before the run when present (warm start), rewritten after")
 		filter    = flag.String("filter", "", "regexp filter on benchmark instance names")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut   = flag.Bool("json", false, "emit JSON records instead of a table")
@@ -70,14 +73,28 @@ func main() {
 		}
 	}
 
+	gs := parseGrain(*grainName)
+	if gs.adaptive {
+		gs.tuner = tune.New(tune.Options{})
+		if *tuneCache != "" {
+			if n, err := gs.tuner.LoadFile(*tuneCache); err != nil {
+				fatal("%v", err)
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "pstlbench: warm-started tuner with %d cached entries from %s\n", n, *tuneCache)
+			}
+		}
+	} else if *tuneCache != "" {
+		fatal("-tune-cache requires -grain=adaptive")
+	}
+
 	selKernels := selectKernels(*algos)
-	suite := &harness.Suite{Registry: counters.NewRegistry()}
+	suite := &harness.Suite{Registry: counters.NewRegistry(), Tuner: gs.tuner}
 	tracing := *traceOut != ""
 	switch *mode {
 	case "sim":
-		suite.Tracer = registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc, *numaSteal, tracing)
+		suite.Tracer = registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc, *numaSteal, tracing, gs)
 	case "native":
-		suite.Tracer = registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal, tracing)
+		suite.Tracer = registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal, tracing, gs)
 	default:
 		fatal("unknown -mode %q", *mode)
 	}
@@ -86,6 +103,9 @@ func main() {
 	harness.SortResults(results)
 	if tracing {
 		writeTrace(*traceOut, suite.Tracer)
+	}
+	if gs.adaptive {
+		reportTuner(gs.tuner, *tuneCache)
 	}
 	if *jsonOut {
 		emitJSON(results, suite.Registry)
@@ -186,6 +206,57 @@ func emitJSON(results []harness.Result, reg *counters.Registry) {
 	}
 }
 
+// grainSpec is the parsed -grain flag: a fixed named grain overriding the
+// mode's default, or the adaptive tuner.
+type grainSpec struct {
+	adaptive bool
+	override bool
+	g        exec.Grain
+	tuner    *tune.Tuner
+}
+
+func parseGrain(name string) grainSpec {
+	switch name {
+	case "":
+		return grainSpec{}
+	case "auto":
+		return grainSpec{override: true, g: exec.Auto}
+	case "static":
+		return grainSpec{override: true, g: exec.Static}
+	case "fine":
+		return grainSpec{override: true, g: exec.Fine}
+	case "guided":
+		return grainSpec{override: true, g: exec.Guided}
+	case "adaptive":
+		return grainSpec{adaptive: true}
+	}
+	fatal("unknown -grain %q (auto, static, fine, guided, adaptive)", name)
+	panic("unreachable")
+}
+
+// reportTuner prints the tuner's operating points to stderr and rewrites
+// the tuning cache, if one was named.
+func reportTuner(tn *tune.Tuner, cachePath string) {
+	if cachePath != "" {
+		if err := tn.SaveFile(cachePath); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pstlbench: wrote tuning cache (%d entries) to %s\n",
+			len(tn.Export().Entries), cachePath)
+	}
+	for _, k := range tn.Keys() {
+		chunk, tp, ok := tn.Best(k)
+		if !ok {
+			continue
+		}
+		state := "exploring"
+		if tn.Converged(k) {
+			state = "converged"
+		}
+		fmt.Fprintf(os.Stderr, "pstlbench: tune %s: chunk=%d (%.3g items/s, %s)\n", k, chunk, tp, state)
+	}
+}
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pstlbench: "+format+"\n", args...)
 	os.Exit(2)
@@ -228,7 +299,7 @@ func selectBackends(spec string) []*backend.Backend {
 // as range arguments; each iteration reports the simulator's virtual time
 // via manual timing. With tracing, it returns a virtual-time tracer with
 // one track per simulated core plus the harness marker track.
-func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string, numaSteal, tracing bool) *trace.Tracer {
+func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernels.Kernel, kit, minExp, maxExp, threads int, allocName string, numaSteal, tracing bool, gs grainSpec) *trace.Tracer {
 	m := machine.ByName(machName)
 	if m == nil {
 		fatal("unknown machine %q", machName)
@@ -267,17 +338,34 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 			}
 			b.NUMASteal = numaSteal // fresh per selectBackends call
 			k, b := k, b
+			site := fmt.Sprintf("%s/%s/%s", k.Name, machName, b.ID)
+			tunable := gs.adaptive && !b.IsGPU()
 			suite.Register(harness.Benchmark{
-				Name: fmt.Sprintf("%s/%s/%s", k.Name, machName, b.ID),
+				Name: site,
 				Args: args,
 				Fn: func(st *harness.State) {
 					n := st.Range(0)
+					// The backend is copied so a grain override (fixed or
+					// per-invocation adaptive proposal) stays local to this
+					// instance.
+					bb := *b
+					if gs.override {
+						bb.Grain = gs.g
+					}
+					var key tune.Key
+					if tunable {
+						key = tune.Key{Site: site, N: int(n), Workers: threads}
+						st.Tune(key)
+					}
 					for st.Next() {
+						if tunable {
+							bb.Grain = gs.tuner.Propose(key)
+						}
 						r := simexec.Run(simexec.Config{
-							Machine: m, Backend: b,
+							Machine: m, Backend: &bb,
 							Workload: skeleton.Workload{Op: k.Op, N: n, ElemBytes: 8, Kit: kit, HitFrac: 0.5},
 							Threads:  threads, Alloc: alloc,
-							TransferBack: b.IsGPU(),
+							TransferBack: bb.IsGPU(),
 							Tracer:       tr,
 						})
 						st.SetIterationTime(r.Seconds)
@@ -296,7 +384,7 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 // topology, as if the workers were pinned to that machine's core layout.
 // With tracing, it returns a wall-clock tracer with one track per pool
 // worker, a caller track, and the harness marker track.
-func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal, tracing bool) *trace.Tracer {
+func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal, tracing bool, gs grainSpec) *trace.Tracer {
 	var policy core.Policy
 	var tr *trace.Tracer
 	switch strategyName {
@@ -339,6 +427,14 @@ func registerNative(suite *harness.Suite, strategyName string, workers int, ks [
 		pool := native.NewTraced(workers, s, topo, tr)
 		// The pool lives for the process lifetime; no Close needed.
 		policy = core.Par(pool).WithGrain(exec.Auto)
+		if gs.override {
+			policy = policy.WithGrain(gs.g)
+		}
+		if gs.adaptive {
+			// The harness differences these snapshots to attribute the
+			// pool's steal/park/spin traffic to each iteration.
+			suite.TuneSched = func() counters.Set { return pool.Stats().Counters() }
+		}
 	default:
 		fatal("unknown -strategy %q", strategyName)
 	}
@@ -348,12 +444,22 @@ func registerNative(suite *harness.Suite, strategyName string, workers int, ks [
 	}
 	for _, k := range ks {
 		k := k
+		site := fmt.Sprintf("%s/native/%s", k.Name, strategyName)
 		suite.Register(harness.Benchmark{
-			Name:    fmt.Sprintf("%s/native/%s", k.Name, strategyName),
+			Name:    site,
 			Args:    args,
 			MinTime: minTime,
 			Fn: func(st *harness.State) {
-				k.Body(policy, int(st.Range(0)), kit)(st)
+				n := int(st.Range(0))
+				p := policy
+				if gs.adaptive && p.Pool != nil {
+					// Observations key on the problem size; loops running at
+					// other sizes (e.g. a scan's chunk-count loop) propose
+					// under their own keys and stay at exec.Auto.
+					st.Tune(tune.Key{Site: site, N: n, Workers: p.Pool.Workers()})
+					p = p.WithGrainSource(gs.tuner.Site(site))
+				}
+				k.Body(p, n, kit)(st)
 			},
 		})
 	}

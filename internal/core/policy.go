@@ -20,6 +20,15 @@ import (
 	"pstlbench/internal/exec"
 )
 
+// GrainSource proposes a chunking policy per loop invocation, given the
+// loop's element count and the pool's worker count. Plugging one into a
+// Policy (WithGrainSource) overrides the static Grain for every parallel
+// loop the policy runs — the hook the adaptive tuner (internal/tune) uses
+// to own grain selection without touching algorithm code.
+type GrainSource interface {
+	Grain(n, workers int) exec.Grain
+}
+
 // Policy selects how an algorithm executes, playing the role of
 // std::execution::seq / par plus the backend-specific tuning the paper
 // studies.
@@ -31,6 +40,12 @@ type Policy struct {
 
 	// Grain is the chunking policy for parallel loops.
 	Grain exec.Grain
+
+	// Grains, when non-nil, overrides Grain: every parallel loop asks it
+	// for the grain to use at its own (n, workers) point. Multi-phase
+	// algorithms ask once per decomposition, so all phases of one call
+	// share a consistent chunk set.
+	Grains GrainSource
 
 	// SeqThreshold is the input size below which algorithms fall back to
 	// their sequential implementation, as the GNU and TBB runtimes do.
@@ -50,6 +65,13 @@ func Par(pool exec.Pool) Policy {
 // WithGrain returns a copy of the policy using the given grain.
 func (p Policy) WithGrain(g exec.Grain) Policy {
 	p.Grain = g
+	return p
+}
+
+// WithGrainSource returns a copy of the policy taking its grain from src
+// (nil restores the static Grain).
+func (p Policy) WithGrainSource(src GrainSource) Policy {
+	p.Grains = src
 	return p
 }
 
@@ -84,6 +106,16 @@ func (p Policy) pool() exec.Pool {
 // workers returns the worker count of the underlying pool.
 func (p Policy) workers() int { return p.pool().Workers() }
 
+// grain returns the effective chunking policy for a parallel loop over n
+// elements: the GrainSource's proposal when one is plugged in, the static
+// Grain otherwise.
+func (p Policy) grain(n int) exec.Grain {
+	if p.Grains != nil {
+		return p.Grains.Grain(n, p.workers())
+	}
+	return p.Grain
+}
+
 // chunkSet is an index-addressable view of the chunk decomposition of
 // [0, n) under a policy: chunk ranges are computed on demand from the grain
 // arithmetic (exec.Grain.ChunkAt) instead of materializing a []exec.Range
@@ -108,7 +140,8 @@ func (cs chunkSet) at(ci int) exec.Range { return cs.grain.ChunkAt(ci, cs.n, cs.
 // up across phases.
 func (p Policy) chunks(n int) chunkSet {
 	w := p.workers()
-	return chunkSet{grain: p.Grain, n: n, w: w, count: p.Grain.ChunkCount(n, w)}
+	g := p.grain(n)
+	return chunkSet{grain: g, n: n, w: w, count: g.ChunkCount(n, w)}
 }
 
 // forEachChunk runs body over the chunk set on the policy's pool. It is

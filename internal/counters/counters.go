@@ -72,6 +72,24 @@ func (s *Set) Add(o Set) {
 	s.EmptySpins += o.EmptySpins
 }
 
+// Sub returns the counter-wise difference s - o, for attributing a live
+// counter snapshot pair to the interval between them.
+func (s Set) Sub(o Set) Set {
+	return Set{
+		Instructions: s.Instructions - o.Instructions,
+		FPScalar:     s.FPScalar - o.FPScalar,
+		FP128:        s.FP128 - o.FP128,
+		FP256:        s.FP256 - o.FP256,
+		DRAMBytes:    s.DRAMBytes - o.DRAMBytes,
+		Seconds:      s.Seconds - o.Seconds,
+		LocalSteals:  s.LocalSteals - o.LocalSteals,
+		RemoteSteals: s.RemoteSteals - o.RemoteSteals,
+		Parks:        s.Parks - o.Parks,
+		Wakeups:      s.Wakeups - o.Wakeups,
+		EmptySpins:   s.EmptySpins - o.EmptySpins,
+	}
+}
+
 // Scale multiplies every counter by f and returns the result.
 func (s Set) Scale(f float64) Set {
 	return Set{
@@ -226,6 +244,12 @@ func (r *Registry) Stats(region string) RegionStats {
 	}
 	n := float64(d.secCalls)
 	mean := d.secSum / n
+	if d.secCalls == 1 {
+		// A single sample has no spread; short-circuit so no rounding path
+		// can ever surface NaN to consumers (the tuner's stop condition
+		// reads this blind).
+		return RegionStats{Calls: 1, Min: d.secMin, Max: d.secMax, Mean: mean}
+	}
 	// Population variance via the sum-of-squares identity; clamp the
 	// cancellation error for near-constant samples.
 	variance := d.secSumSq/n - mean*mean

@@ -149,3 +149,37 @@ func TestRegionStatsConstantSamples(t *testing.T) {
 		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
 	}
 }
+
+func TestRegionStatsSingleSample(t *testing.T) {
+	r := NewRegistry()
+	r.Record("once", Set{Seconds: 0.5})
+	s := r.Stats("once")
+	if s.Calls != 1 {
+		t.Fatalf("Calls = %d, want 1", s.Calls)
+	}
+	if s.Min != 0.5 || s.Max != 0.5 || s.Mean != 0.5 {
+		t.Fatalf("min/max/mean = %v/%v/%v, want 0.5", s.Min, s.Max, s.Mean)
+	}
+	// The tuner's stop condition reads this blind: a single sample has no
+	// spread and must report exactly 0, never NaN.
+	if s.StdDev != 0 || math.IsNaN(s.StdDev) {
+		t.Fatalf("single-sample stddev = %v, want exactly 0", s.StdDev)
+	}
+}
+
+func TestSub(t *testing.T) {
+	a := Set{Instructions: 100, Seconds: 2, LocalSteals: 10, RemoteSteals: 4, Parks: 3, Wakeups: 2, EmptySpins: 7, DRAMBytes: 64}
+	b := Set{Instructions: 40, Seconds: 0.5, LocalSteals: 6, RemoteSteals: 1, Parks: 1, Wakeups: 2, EmptySpins: 5, DRAMBytes: 32}
+	d := a.Sub(b)
+	if d.Instructions != 60 || d.Seconds != 1.5 || d.DRAMBytes != 32 {
+		t.Fatalf("Sub core fields: %+v", d)
+	}
+	if d.LocalSteals != 4 || d.RemoteSteals != 3 || d.Parks != 2 || d.Wakeups != 0 || d.EmptySpins != 2 {
+		t.Fatalf("Sub sched fields: %+v", d)
+	}
+	// Sub is the inverse of Add over a snapshot pair.
+	b.Add(d)
+	if b != a {
+		t.Fatalf("b + (a-b) = %+v, want %+v", b, a)
+	}
+}

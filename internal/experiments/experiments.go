@@ -91,6 +91,7 @@ func Index() []struct {
 		{"fig9", Fig9GPUReduce},
 		{"ext-arm", ExtensionARM},
 		{"ext-numasteal", ExtensionNUMASteal},
+		{"ext-adaptive", ExtensionAdaptive},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

@@ -27,6 +27,7 @@ import (
 
 	"pstlbench/internal/counters"
 	"pstlbench/internal/trace"
+	"pstlbench/internal/tune"
 )
 
 // State is the per-benchmark-run state handed to the benchmark body.
@@ -52,6 +53,17 @@ type State struct {
 	tracer   *trace.Tracer
 	tbuf     *trace.Buf // harness marker track
 	registry *counters.Registry
+
+	// Adaptive-grain auto-wiring (State.Tune): one tune.Observation per
+	// iteration flows to the suite's Tuner at each Next() boundary.
+	tuner         *tune.Tuner
+	tuneSched     func() counters.Set
+	tuneOn        bool
+	tuneKey       tune.Key
+	tuneWall      time.Time
+	tuneManual    float64
+	tuneCtr       counters.Set
+	tuneSchedPrev counters.Set
 }
 
 // Name returns the full benchmark name including arguments.
@@ -72,19 +84,72 @@ func (s *State) Next() bool {
 	if !s.started {
 		s.started = true
 		s.startTime = time.Now()
+		if s.tuneOn {
+			s.tuneWall = s.startTime
+		}
 		if s.tbuf != nil && s.target > 0 {
 			s.tbuf.Instant(trace.KindIteration, s.tracer.Now(), 0, 0)
 		}
 		return s.target > 0
 	}
 	if s.iter++; s.iter < s.target {
+		s.tuneFlush()
 		if s.tbuf != nil {
 			s.tbuf.Instant(trace.KindIteration, s.tracer.Now(), int64(s.iter), 0)
 		}
 		return true
 	}
 	s.elapsed += time.Since(s.startTime)
+	s.tuneFlush()
 	return false
+}
+
+// Tune declares that the benchmark's parallel loop is tuned under key k.
+// When the suite runs with a Tuner, the harness then feeds it one
+// tune.Observation per iteration at every Next() boundary: the iteration's
+// duration (manual when the body uses SetIterationTime, wall-clock
+// otherwise) merged with the scheduler-counter deltas from RecordCounters
+// and from the suite's TuneSched snapshot hook. Call it once, before the
+// measurement loop; without a suite Tuner it is a no-op.
+func (s *State) Tune(k tune.Key) {
+	if s.tuner == nil {
+		return
+	}
+	s.tuneOn = true
+	s.tuneKey = k
+	s.tuneWall = time.Now()
+	s.tuneManual = s.manual
+	s.tuneCtr = s.ctr
+	if s.tuneSched != nil {
+		s.tuneSchedPrev = s.tuneSched()
+	}
+}
+
+// tuneFlush attributes everything since the previous iteration boundary to
+// one observation and hands it to the tuner.
+func (s *State) tuneFlush() {
+	if !s.tuneOn {
+		return
+	}
+	now := time.Now()
+	var secs float64
+	if s.manualMode {
+		secs = s.manual - s.tuneManual
+	} else {
+		secs = now.Sub(s.tuneWall).Seconds()
+	}
+	delta := s.ctr.Sub(s.tuneCtr)
+	if s.tuneSched != nil {
+		cur := s.tuneSched()
+		delta.Add(cur.Sub(s.tuneSchedPrev))
+		s.tuneSchedPrev = cur
+	}
+	obs := tune.FromCounters(delta)
+	obs.Seconds = secs
+	s.tuner.Observe(s.tuneKey, obs)
+	s.tuneWall = now
+	s.tuneManual = s.manual
+	s.tuneCtr = s.ctr
 }
 
 // Iterations returns the number of iterations of the current run.
@@ -219,6 +284,16 @@ type Suite struct {
 	// SetIterationTime call under the instance's full name — the region
 	// names in the registry match the KindRegion markers in the trace.
 	Registry *counters.Registry
+
+	// Tuner, when non-nil, receives one tune.Observation per iteration of
+	// every benchmark that declared a tuning key with State.Tune, and the
+	// trace summary of each measured attempt via ObserveSummary.
+	Tuner *tune.Tuner
+	// TuneSched, when non-nil, snapshots live scheduler counters (e.g. a
+	// native pool's Stats().Counters()); the harness differences
+	// consecutive snapshots to attribute steals, parks, and spins to each
+	// iteration's observation.
+	TuneSched func() counters.Set
 }
 
 // Register adds a benchmark to the suite.
@@ -290,7 +365,8 @@ func (su *Suite) runOne(b Benchmark, args []int64) Result {
 	var windowFrom, windowTo int64
 	for {
 		st = &State{name: name, args: args, target: n,
-			tracer: su.Tracer, tbuf: tb, registry: su.Registry}
+			tracer: su.Tracer, tbuf: tb, registry: su.Registry,
+			tuner: su.Tuner, tuneSched: su.TuneSched}
 		var rstart int64
 		if tb != nil {
 			rstart = su.Tracer.Now()
@@ -331,6 +407,11 @@ func (su *Suite) runOne(b Benchmark, args []int64) Result {
 	if tb != nil {
 		// Summarize only the final attempt — the one the timing comes from.
 		res.Trace = trace.SummarizeWindow(su.Tracer, windowFrom, windowTo)
+		if su.Tuner != nil && st.tuneOn && res.Trace != nil {
+			// Feed the attempt's idle-gap mass back so the tuner's next
+			// counter-only observations carry the trace signal too.
+			su.Tuner.ObserveSummary(st.tuneKey, res.Trace)
+		}
 	}
 	total := st.measuredSeconds()
 	if st.target > 0 {

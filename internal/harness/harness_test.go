@@ -8,6 +8,7 @@ import (
 
 	"pstlbench/internal/counters"
 	"pstlbench/internal/trace"
+	"pstlbench/internal/tune"
 )
 
 func TestStateLoopRunsTargetIterations(t *testing.T) {
@@ -353,5 +354,104 @@ func TestResultTraceSummarizesFinalAttemptOnly(t *testing.T) {
 	if int(s.Events) > rs[0].Iterations+1 {
 		t.Fatalf("window captured %d events for %d iterations; leaked earlier attempts",
 			s.Events, rs[0].Iterations)
+	}
+}
+
+// TestTuneAutoWiring pins the adaptive-grain plumbing: a benchmark that
+// declares a tuning key gets exactly one observation per iteration, whose
+// duration comes from manual timing and whose scheduler counters merge the
+// RecordCounters delta with the TuneSched snapshot delta.
+func TestTuneAutoWiring(t *testing.T) {
+	tn := tune.New(tune.Options{})
+	sched := counters.Set{}
+	su := &Suite{
+		Tuner:     tn,
+		TuneSched: func() counters.Set { return sched },
+	}
+	key := tune.Key{Site: "wired", N: 1 << 12, Workers: 4}
+	iters := 0
+	su.Register(Benchmark{
+		Name:          "wired",
+		MaxIterations: 6,
+		MinTime:       time.Nanosecond, // one attempt
+		Fn: func(st *State) {
+			st.Tune(key)
+			for st.Next() {
+				iters++
+				// Live scheduler counters advance during the iteration.
+				sched.LocalSteals += 2
+				sched.RemoteSteals += 5
+				st.SetIterationTime(1e-3)
+				st.RecordCounters(counters.Set{Parks: 1})
+			}
+		},
+	})
+	su.Run(nil)
+	if iters == 0 {
+		t.Fatal("benchmark body never ran")
+	}
+	// Every iteration produced one observation: the tuner's trial count
+	// per operating point must sum to the iteration count.
+	total := 0
+	for _, k := range tn.Keys() {
+		if k != key {
+			t.Fatalf("observation landed on key %v, want %v", k, key)
+		}
+	}
+	if _, _, ok := tn.Best(key); !ok {
+		t.Fatal("tuner saw no observations")
+	}
+	reg := tn.Registry()
+	for _, r := range reg.Regions() {
+		_, calls := reg.Region(r)
+		total += calls
+	}
+	if total != iters {
+		t.Fatalf("tuner recorded %d observations, want one per iteration (%d)", total, iters)
+	}
+}
+
+// TestTuneWithoutTunerIsNoop: State.Tune must be safe when the suite has
+// no tuner.
+func TestTuneWithoutTunerIsNoop(t *testing.T) {
+	su := &Suite{}
+	ran := false
+	su.Register(Benchmark{
+		Name:          "plain",
+		MaxIterations: 2,
+		MinTime:       time.Nanosecond,
+		Fn: func(st *State) {
+			st.Tune(tune.Key{Site: "plain", N: 10, Workers: 1})
+			for st.Next() {
+				ran = true
+			}
+		},
+	})
+	su.Run(nil)
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+// TestTuneObservesWallClockWithoutManualTiming: bodies that never call
+// SetIterationTime still produce observations from wall-clock deltas.
+func TestTuneObservesWallClockWithoutManualTiming(t *testing.T) {
+	tn := tune.New(tune.Options{})
+	su := &Suite{Tuner: tn}
+	key := tune.Key{Site: "wall", N: 1 << 10, Workers: 2}
+	su.Register(Benchmark{
+		Name:          "wall",
+		MaxIterations: 3,
+		MinTime:       time.Nanosecond,
+		Fn: func(st *State) {
+			st.Tune(key)
+			for st.Next() {
+				time.Sleep(100 * time.Microsecond)
+			}
+		},
+	})
+	su.Run(nil)
+	if _, _, ok := tn.Best(key); !ok {
+		t.Fatal("no wall-clock observations reached the tuner")
 	}
 }

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge behavior of the summarizer, pinned because the adaptive tuner
+// consumes these numbers blind: no NaN/Inf may ever leak out of Dist or
+// BusySeconds, empty inputs summarize to zeros, and degenerate windows
+// keep nothing.
+
+// assertFinite walks every float of a summary and rejects NaN/Inf.
+func assertFinite(t *testing.T, s *Summary) {
+	t.Helper()
+	check := func(name string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v", name, v)
+		}
+	}
+	checkDist := func(name string, d Dist) {
+		check(name+".P50", d.P50)
+		check(name+".P95", d.P95)
+		check(name+".Max", d.Max)
+	}
+	check("Start", s.Start)
+	check("End", s.End)
+	checkDist("Chunk", s.Chunk)
+	checkDist("StealToWork", s.StealToWork)
+	for _, ts := range s.Tracks {
+		check("track.BusySeconds", ts.BusySeconds)
+		checkDist("track.Chunk", ts.Chunk)
+		checkDist("track.StealToWork", ts.StealToWork)
+	}
+}
+
+func TestSummarizeNilTracer(t *testing.T) {
+	if s := Summarize(nil); s != nil {
+		t.Fatalf("Summarize(nil) = %+v, want nil", s)
+	}
+	if s := SummarizeWindow(nil, 0, 100); s != nil {
+		t.Fatalf("SummarizeWindow(nil) = %+v, want nil", s)
+	}
+}
+
+func TestSummarizeEmptyTracks(t *testing.T) {
+	tr := New(3, 16)
+	s := Summarize(tr)
+	if s.Events != 0 {
+		t.Fatalf("empty tracer summarized %d events", s.Events)
+	}
+	if len(s.Tracks) != 3 {
+		t.Fatalf("got %d tracks, want 3", len(s.Tracks))
+	}
+	for _, ts := range s.Tracks {
+		if ts.Chunks != 0 || ts.BusySeconds != 0 {
+			t.Fatalf("empty track has stats: %+v", ts)
+		}
+		if ts.Chunk.Count != 0 || ts.StealToWork.Count != 0 || ts.IdleGap.Total() != 0 {
+			t.Fatalf("empty track has distributions: %+v", ts)
+		}
+	}
+	if s.Chunk != (Dist{}) || s.StealToWork != (Dist{}) {
+		t.Fatalf("empty tracer has aggregate dists: %+v / %+v", s.Chunk, s.StealToWork)
+	}
+	if s.Start != 0 || s.End != 0 {
+		t.Fatalf("empty tracer window [%v, %v], want [0, 0]", s.Start, s.End)
+	}
+	assertFinite(t, s)
+}
+
+func TestSummarizeZeroSpanWindow(t *testing.T) {
+	tr := New(2, 16)
+	b := tr.Buf(0)
+	ms := int64(1e6)
+	b.Span(KindChunk, 1*ms, 2*ms, 0, 100)
+	b.Instant(KindSteal, 3*ms, 0, TierRemote)
+	// A window excluding every event keeps nothing and stays finite.
+	s := SummarizeWindow(tr, 10*ms, 10*ms)
+	if s.Events != 0 {
+		t.Fatalf("zero-span window kept %d events", s.Events)
+	}
+	assertFinite(t, s)
+	// A zero-span window sitting exactly on an instant keeps it.
+	s = SummarizeWindow(tr, 3*ms, 3*ms)
+	if s.Events != 1 || s.Tracks[0].RemoteSteals != 1 {
+		t.Fatalf("instant at window edge: events=%d tracks[0]=%+v", s.Events, s.Tracks[0])
+	}
+	if s.Start != s.End {
+		t.Fatalf("instant-only window [%v, %v], want zero span", s.Start, s.End)
+	}
+	assertFinite(t, s)
+}
+
+func TestSummarizeInstantsOnlyTrack(t *testing.T) {
+	// A track with steals and parks but no chunk spans: the busy union of
+	// zero spans is 0, steal-to-work finds no match, nothing divides by
+	// the empty span set.
+	tr := New(1, 16)
+	b := tr.Buf(0)
+	ms := int64(1e6)
+	b.Instant(KindSteal, 1*ms, 0, TierLocal)
+	b.Span(KindPark, 2*ms, 3*ms, 0, 0)
+	s := Summarize(tr)
+	ts := s.Tracks[0]
+	if ts.BusySeconds != 0 {
+		t.Fatalf("busy union of no chunk spans = %v, want 0", ts.BusySeconds)
+	}
+	if ts.LocalSteals != 1 || ts.Parks != 1 {
+		t.Fatalf("instant counts lost: %+v", ts)
+	}
+	if ts.StealToWork.Count != 0 {
+		t.Fatalf("steal matched a nonexistent chunk: %+v", ts.StealToWork)
+	}
+	assertFinite(t, s)
+}
+
+func TestBusyUnionEmpty(t *testing.T) {
+	if got := busyUnion(nil); got != 0 {
+		t.Fatalf("busyUnion(nil) = %v, want 0", got)
+	}
+	if got := busyUnion([]Event{}); got != 0 {
+		t.Fatalf("busyUnion(empty) = %v, want 0", got)
+	}
+}
+
+func TestMakeDistEmpty(t *testing.T) {
+	if d := makeDist(nil); d != (Dist{}) {
+		t.Fatalf("makeDist(nil) = %+v, want zero", d)
+	}
+}
