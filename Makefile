@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race bench serve loadgen check
 
 all: check
 
@@ -15,12 +15,23 @@ test:
 
 # Race-check the concurrency-heavy packages: the work-stealing scheduler,
 # the algorithms that drive it, the event-tracing layer its workers write
-# to, the simulator that emits virtual-time traces, and the adaptive
-# grain tuner fed concurrently by harness observations.
+# to, the simulator that emits virtual-time traces, the adaptive grain
+# tuner fed concurrently by harness observations, and the multi-tenant
+# job server racing submits against cancels on one shared pool.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/trace/... ./internal/simexec/... ./internal/tune/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
+
+# Run the algorithm-serving daemon on the local pool.
+serve:
+	$(GO) run ./cmd/pstld -addr :8080 -sched wfq
+
+# Closed-loop load generator: a heavy and a light tenant on one pool;
+# swap -sched fifo to see the light tenant's p99 blow up.
+loadgen:
+	$(GO) run ./cmd/pstld -loadgen -duration 2s -sched wfq \
+		-spec "big:1:sort:1048576:4,small:1:reduce:65536:2"
 
 check: vet build test race

@@ -213,6 +213,49 @@ func BenchmarkSchedulerOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkCancelOverhead pins the cost the cancellation token adds to the
+// dispatch path, alongside BenchmarkSchedulerOverhead: the same empty-body
+// ForChunks, run uncancellable (plain), with a nil token (the disabled
+// inlined check), and with a live never-fired token (one atomic load per
+// chunk). The ns/chunk deltas between the variants are the per-chunk cost
+// of cancellability — they must stay within the noise of the dispatch
+// itself (≤ ~2 ns), with zero allocations.
+func BenchmarkCancelOverhead(b *testing.B) {
+	const n = 1 << 16
+	workers := 4
+	variants := []struct {
+		name string
+		run  func(p *native.Pool, c *exec.Cancel, body func(worker, lo, hi int))
+	}{
+		{"plain", func(p *native.Pool, _ *exec.Cancel, body func(worker, lo, hi int)) {
+			p.ForChunks(n, exec.Fine, body)
+		}},
+		{"nil-token", func(p *native.Pool, _ *exec.Cancel, body func(worker, lo, hi int)) {
+			p.ForChunksCancel(n, exec.Fine, nil, body)
+		}},
+		{"live-token", func(p *native.Pool, c *exec.Cancel, body func(worker, lo, hi int)) {
+			p.ForChunksCancel(n, exec.Fine, c, body)
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			pool := native.New(workers, native.StrategyStealing)
+			defer pool.Close()
+			body := func(worker, lo, hi int) {}
+			chunks := exec.Fine.ChunkCount(n, workers)
+			c := &exec.Cancel{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.run(pool, c, body)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(chunks), "ns/chunk")
+		})
+	}
+}
+
 // BenchmarkAdaptiveGrain compares fixed, auto, and adaptive grain
 // selection on the native library's for_each and reduce, and measures the
 // tuner's decision overhead. The adaptive sub-benchmarks drive a real

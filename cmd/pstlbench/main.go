@@ -108,21 +108,23 @@ func main() {
 		reportTuner(gs.tuner, *tuneCache)
 	}
 	if *jsonOut {
-		emitJSON(results, suite.Registry)
+		emitJSON(results)
 		return
 	}
 	t := &report.Table{
-		Headers: []string{"Benchmark", "Iterations", "Time/call", "Stddev", "GiB/s"},
+		Headers: []string{"Benchmark", "Iterations", "Time/call", "Stddev", "P99", "GiB/s"},
 	}
 	for _, r := range results {
-		stddev := "-"
-		if s := suite.Registry.Stats(r.FullName()); s.Calls > 1 {
+		stddev, p99 := "-", "-"
+		if s := r.Latency; s.Calls > 1 {
 			stddev = fmt.Sprintf("%.3g s", s.StdDev)
+			p99 = fmt.Sprintf("%.3g s", s.P99)
 		}
 		t.AddRow(r.FullName(),
 			fmt.Sprintf("%d", r.Iterations),
 			fmt.Sprintf("%.6g s", r.Seconds),
 			stddev,
+			p99,
 			fmt.Sprintf("%.2f", r.BytesPerSec/(1<<30)))
 	}
 	if *csv {
@@ -159,6 +161,8 @@ type jsonRecord struct {
 	SecondsStdDev float64 `json:"seconds_stddev,omitempty"`
 	SecondsMin    float64 `json:"seconds_min,omitempty"`
 	SecondsMax    float64 `json:"seconds_max,omitempty"`
+	SecondsP50    float64 `json:"seconds_p50,omitempty"`
+	SecondsP99    float64 `json:"seconds_p99,omitempty"`
 	BytesPerSec   float64 `json:"bytes_per_sec,omitempty"`
 	// Modeled counters, when the simulator produced them.
 	Instructions float64 `json:"instructions,omitempty"`
@@ -172,7 +176,7 @@ type jsonRecord struct {
 	TraceLostEvents uint64  `json:"trace_lost_events,omitempty"`
 }
 
-func emitJSON(results []harness.Result, reg *counters.Registry) {
+func emitJSON(results []harness.Result) {
 	enc := json.NewEncoder(os.Stdout)
 	for _, r := range results {
 		rec := jsonRecord{
@@ -181,12 +185,12 @@ func emitJSON(results []harness.Result, reg *counters.Registry) {
 			Seconds:     r.Seconds,
 			BytesPerSec: r.BytesPerSec,
 		}
-		if reg != nil {
-			if s := reg.Stats(r.FullName()); s.Calls > 1 {
-				rec.SecondsStdDev = s.StdDev
-				rec.SecondsMin = s.Min
-				rec.SecondsMax = s.Max
-			}
+		if s := r.Latency; s.Calls > 1 {
+			rec.SecondsStdDev = s.StdDev
+			rec.SecondsMin = s.Min
+			rec.SecondsMax = s.Max
+			rec.SecondsP50 = s.P50
+			rec.SecondsP99 = s.P99
 		}
 		if r.HasCounters && r.Iterations > 0 {
 			rec.Instructions = r.Counters.Instructions / float64(r.Iterations)

@@ -11,7 +11,7 @@ func Copy[T any](p Policy, dst, src []T) {
 		copy(dst, src)
 		return
 	}
-	p.pool().ForChunks(n, p.grain(n), func(_, lo, hi int) {
+	p.forChunks(n, func(_, lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
 }

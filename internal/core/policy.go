@@ -51,6 +51,15 @@ type Policy struct {
 	// their sequential implementation, as the GNU and TBB runtimes do.
 	// 0 means "always parallel when a pool is present".
 	SeqThreshold int
+
+	// Cancel, when non-nil, is checked at chunk granularity by every
+	// parallel loop the policy runs: once it fires, remaining chunks are
+	// skipped and the algorithm returns early with an incomplete result.
+	// Callers that cancel must discard the result — Canceled() is the
+	// source of truth, mirroring how an interrupted std::find caller must
+	// not dereference the returned iterator. Sequential fallbacks are not
+	// cancellable; the serving layer always runs cancellable jobs parallel.
+	Cancel *exec.Cancel
 }
 
 // Seq returns the sequential execution policy.
@@ -81,6 +90,18 @@ func (p Policy) WithSeqThreshold(n int) Policy {
 	p.SeqThreshold = n
 	return p
 }
+
+// WithCancel returns a copy of the policy whose parallel loops check the
+// given cancellation token before every chunk (nil removes the token).
+func (p Policy) WithCancel(c *exec.Cancel) Policy {
+	p.Cancel = c
+	return p
+}
+
+// Canceled reports whether the policy's cancellation token has fired; a
+// policy without a token is never canceled. Algorithms run under a token
+// produce incomplete results once this returns true.
+func (p Policy) Canceled() bool { return p.Cancel.Canceled() }
 
 // parallel reports whether an input of n elements should take the parallel
 // path under this policy.
@@ -144,12 +165,41 @@ func (p Policy) chunks(n int) chunkSet {
 	return chunkSet{grain: g, n: n, w: w, count: g.ChunkCount(n, w)}
 }
 
+// dispatch runs one parallel loop over [0, n) with grain g on the policy's
+// pool, threading the cancellation token through pools that support it
+// (exec.CancelPool: chunk-granular checks on the zero-allocation dispatch
+// path). Pools without native support get the token enforced by a body
+// wrapper — same observable semantics, one extra closure per call.
+func (p Policy) dispatch(n int, g exec.Grain, body func(worker, lo, hi int)) {
+	pl := p.pool()
+	if p.Cancel == nil {
+		pl.ForChunks(n, g, body)
+		return
+	}
+	if cp, ok := pl.(exec.CancelPool); ok {
+		cp.ForChunksCancel(n, g, p.Cancel, body)
+		return
+	}
+	c := p.Cancel
+	pl.ForChunks(n, g, func(worker, lo, hi int) {
+		if !c.Canceled() {
+			body(worker, lo, hi)
+		}
+	})
+}
+
+// forChunks runs body over [0, n) under the policy's effective grain — the
+// single-phase parallel loop every algorithm without an explicit chunk
+// decomposition uses.
+func (p Policy) forChunks(n int, body func(worker, lo, hi int)) {
+	p.dispatch(n, p.grain(n), body)
+}
+
 // forEachChunk runs body over the chunk set on the policy's pool. It is
 // the building block for the multi-phase algorithms, which need an explicit
 // chunk decomposition rather than ForChunks' implicit partition.
 func (p Policy) forEachChunk(chunks chunkSet, body func(ci int)) {
-	pl := p.pool()
-	pl.ForChunks(chunks.count, exec.Grain{ChunksPerWorker: 1, MaxChunk: 1}, func(_, lo, hi int) {
+	p.dispatch(chunks.count, exec.Grain{ChunksPerWorker: 1, MaxChunk: 1}, func(_, lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			body(ci)
 		}

@@ -153,7 +153,7 @@ func AdjacentDifference[T any](p Policy, dst, src []T, op func(cur, prev T) T) {
 		}
 		return
 	}
-	p.pool().ForChunks(n, p.grain(n), func(_, lo, hi int) {
+	p.forChunks(n, func(_, lo, hi int) {
 		if lo == 0 {
 			dst[0] = src[0]
 			lo = 1

@@ -73,6 +73,9 @@ func mergeDepth(workers int) int {
 // parallelMergeSort sorts s in place using tmp (same length) as merge
 // scratch.
 func parallelMergeSort[T any](p Policy, s, tmp []T, less func(a, b T) bool, depth int, stable bool) {
+	if p.Canceled() {
+		return // abandon the subtree; the result is discarded by contract
+	}
 	if depth == 0 || len(s) <= sortLeafSize {
 		if stable {
 			slices.SortStableFunc(s, lessToCmp(less))
@@ -94,7 +97,7 @@ func parallelMergeSort[T any](p Policy, s, tmp []T, less func(a, b T) bool, dept
 // policy's sequential threshold (the surrounding sort already decided to be
 // parallel).
 func copyChunked[T any](p Policy, dst, src []T) {
-	p.pool().ForChunks(len(src), p.grain(len(src)), func(_, lo, hi int) {
+	p.forChunks(len(src), func(_, lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
 }
@@ -120,6 +123,9 @@ func Merge[T any](p Policy, dst, a, b []T, less func(x, y T) bool) {
 // by the asymmetric split rules: splitting on a's median uses lower_bound
 // in b, splitting on b's median uses upper_bound in a.
 func parallelMergeInto[T any](p Policy, dst, a, b []T, less func(x, y T) bool, depth int) {
+	if p.Canceled() {
+		return
+	}
 	if depth <= 0 || len(a)+len(b) <= sortLeafSize {
 		seqMerge(dst, a, b, less)
 		return

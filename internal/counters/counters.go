@@ -14,6 +14,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"pstlbench/internal/stats"
 )
 
 // Set is one sample of the modeled hardware counters.
@@ -177,7 +179,20 @@ type regionData struct {
 	secMax   float64
 	secSum   float64
 	secSumSq float64
+
+	// Bounded sample reservoir for quantile estimation: a systematic
+	// (every stride-th) subsample of the timed records, decimated in place
+	// whenever it fills — deterministic, allocation-bounded, and uniform
+	// over the region's lifetime, so long-running regions (serving-layer
+	// latency per tenant) keep meaningful p50/p99 without unbounded memory.
+	secSamples []float64
+	secStride  int // record every stride-th timed sample (power of two)
+	secSkip    int // timed samples to skip before the next recorded one
 }
+
+// sampleCap bounds the per-region quantile reservoir. At 2048 samples the
+// p99 estimate rests on ~20 order statistics, enough for reporting.
+const sampleCap = 2048
 
 // RegionStats summarizes the per-call Seconds distribution of a region:
 // the min/max spread and the call-count-weighted mean and standard
@@ -190,6 +205,10 @@ type RegionStats struct {
 	Min, Max, Mean float64
 	// StdDev is the population standard deviation of per-call Seconds.
 	StdDev float64
+	// P50 and P99 are per-call Seconds quantiles, estimated from a bounded
+	// systematic subsample of the region's timed records (exact until the
+	// region exceeds the reservoir capacity).
+	P50, P99 float64
 }
 
 // NewRegistry returns an empty registry.
@@ -218,7 +237,31 @@ func (r *Registry) Record(region string, s Set) {
 		d.secSum += s.Seconds
 		d.secSumSq += s.Seconds * s.Seconds
 		d.secCalls++
+		d.sample(s.Seconds)
 	}
+}
+
+// sample feeds one timed record into the region's quantile reservoir.
+func (d *regionData) sample(seconds float64) {
+	if d.secStride == 0 {
+		d.secStride = 1
+	}
+	if d.secSkip > 0 {
+		d.secSkip--
+		return
+	}
+	if len(d.secSamples) >= sampleCap {
+		// Decimate in place: keep every other sample and double the
+		// stride, so the reservoir stays a uniform systematic subsample.
+		kept := d.secSamples[:0]
+		for i := 0; i < len(d.secSamples); i += 2 {
+			kept = append(kept, d.secSamples[i])
+		}
+		d.secSamples = kept
+		d.secStride *= 2
+	}
+	d.secSamples = append(d.secSamples, seconds)
+	d.secSkip = d.secStride - 1
 }
 
 // Region returns the accumulated counters and call count of a region.
@@ -244,11 +287,15 @@ func (r *Registry) Stats(region string) RegionStats {
 	}
 	n := float64(d.secCalls)
 	mean := d.secSum / n
+	sorted := append([]float64(nil), d.secSamples...)
+	sort.Float64s(sorted)
+	p50 := stats.PercentileSorted(sorted, 0.50)
+	p99 := stats.PercentileSorted(sorted, 0.99)
 	if d.secCalls == 1 {
 		// A single sample has no spread; short-circuit so no rounding path
 		// can ever surface NaN to consumers (the tuner's stop condition
 		// reads this blind).
-		return RegionStats{Calls: 1, Min: d.secMin, Max: d.secMax, Mean: mean}
+		return RegionStats{Calls: 1, Min: d.secMin, Max: d.secMax, Mean: mean, P50: p50, P99: p99}
 	}
 	// Population variance via the sum-of-squares identity; clamp the
 	// cancellation error for near-constant samples.
@@ -262,6 +309,8 @@ func (r *Registry) Stats(region string) RegionStats {
 		Max:    d.secMax,
 		Mean:   mean,
 		StdDev: math.Sqrt(variance),
+		P50:    p50,
+		P99:    p99,
 	}
 }
 

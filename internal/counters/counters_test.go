@@ -183,3 +183,55 @@ func TestSub(t *testing.T) {
 		t.Fatalf("b + (a-b) = %+v, want %+v", b, a)
 	}
 }
+
+func TestRegionPercentiles(t *testing.T) {
+	r := NewRegistry()
+	// 1..100 ms: exact sample set, well under the reservoir cap.
+	for i := 1; i <= 100; i++ {
+		r.Record("lat", Set{Seconds: float64(i) / 1000})
+	}
+	s := r.Stats("lat")
+	if s.P50 < 0.049 || s.P50 > 0.052 {
+		t.Fatalf("P50 = %v, want ~0.0505", s.P50)
+	}
+	if s.P99 < 0.098 || s.P99 > 0.100 {
+		t.Fatalf("P99 = %v, want ~0.099", s.P99)
+	}
+	if s.P50 >= s.P99 {
+		t.Fatalf("P50 %v >= P99 %v", s.P50, s.P99)
+	}
+}
+
+func TestRegionPercentilesSingleSample(t *testing.T) {
+	r := NewRegistry()
+	r.Record("one", Set{Seconds: 0.25})
+	s := r.Stats("one")
+	if s.P50 != 0.25 || s.P99 != 0.25 {
+		t.Fatalf("single-sample quantiles = %v/%v, want 0.25", s.P50, s.P99)
+	}
+}
+
+// TestReservoirDecimation drives a region far past the reservoir capacity
+// and checks the quantile estimates stay close to the true distribution —
+// the property the serving layer's long-lived per-tenant regions rely on.
+func TestReservoirDecimation(t *testing.T) {
+	r := NewRegistry()
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		// Deterministic shuffle of a uniform ramp so arrival order does not
+		// line up with the systematic stride.
+		v := float64((i*7919)%n+1) / float64(n)
+		r.Record("big", Set{Seconds: v})
+	}
+	s := r.Stats("big")
+	if s.Calls != n {
+		t.Fatalf("Calls = %d, want %d", s.Calls, n)
+	}
+	// Uniform(0,1]: p50 ~ 0.5, p99 ~ 0.99. Allow the subsampling error.
+	if s.P50 < 0.45 || s.P50 > 0.55 {
+		t.Fatalf("P50 = %v, want ~0.5", s.P50)
+	}
+	if s.P99 < 0.95 || s.P99 > 1.0 {
+		t.Fatalf("P99 = %v, want ~0.99", s.P99)
+	}
+}

@@ -1,0 +1,62 @@
+package exec
+
+import "sync/atomic"
+
+// Cancel is a cooperative cancellation token threaded through a parallel
+// loop: the submitter hands one to the scheduler, and the scheduler checks
+// it at chunk granularity on the dispatch path, so a canceled loop stops
+// consuming workers at the next chunk boundary instead of running to
+// completion. It generalizes the early-exit atomic bound the find-family
+// algorithms already use — the same "abandon work that no longer matters"
+// mechanism, but driven by the caller (an abandoned request, an expired
+// deadline) rather than by the algorithm's own result.
+//
+// A nil *Cancel is the disabled token: Canceled on nil is an inlined
+// pointer check, so uncancellable loops pay nothing on the dispatch path
+// (guarded by BenchmarkCancelOverhead). Cancellation is one-way and sticky:
+// there is no Reset, a token represents one logical operation.
+//
+// Cancellation is cooperative, not transactional: chunks that already ran
+// have published their effects, chunks after the cancel point are skipped,
+// so a canceled loop's output is torn by design. Callers must treat the
+// token as the source of truth — check Canceled after the loop and discard
+// the result when it fired (the contract internal/serve enforces for every
+// job result it returns).
+type Cancel struct {
+	state atomic.Uint32
+}
+
+// Cancel requests cancellation. It is safe to call from any goroutine and
+// idempotent; Canceled observes it on every subsequent check.
+func (c *Cancel) Cancel() {
+	c.state.Store(1)
+}
+
+// Canceled reports whether Cancel has been called. It is nil-safe: a nil
+// token is never canceled, making it the zero-cost disabled path.
+func (c *Cancel) Canceled() bool {
+	return c != nil && c.state.Load() != 0
+}
+
+// CancelPool is implemented by pools whose dispatch path checks a
+// cancellation token before every chunk, so a canceled loop frees its
+// workers within one chunk boundary. ForChunksCancel still returns only
+// after every scheduled chunk has completed or been skipped; the caller
+// learns whether the loop was cut short from the token itself.
+type CancelPool interface {
+	Pool
+	// ForChunksCancel is ForChunks with a cancellation token. A nil token
+	// is valid and makes it equivalent to ForChunks.
+	ForChunksCancel(n int, g Grain, c *Cancel, body func(worker, lo, hi int))
+}
+
+var _ CancelPool = Serial{}
+
+// ForChunksCancel runs the loop inline as a single chunk, skipped when the
+// token has already fired.
+func (s Serial) ForChunksCancel(n int, g Grain, c *Cancel, body func(worker, lo, hi int)) {
+	if c.Canceled() {
+		return
+	}
+	s.ForChunks(n, g, body)
+}

@@ -1,0 +1,36 @@
+package exec
+
+import "testing"
+
+func TestCancelNilIsDisabled(t *testing.T) {
+	var c *Cancel
+	if c.Canceled() {
+		t.Fatal("nil token reports canceled")
+	}
+}
+
+func TestCancelIsSticky(t *testing.T) {
+	c := &Cancel{}
+	if c.Canceled() {
+		t.Fatal("fresh token reports canceled")
+	}
+	c.Cancel()
+	c.Cancel() // idempotent
+	if !c.Canceled() {
+		t.Fatal("canceled token reports not canceled")
+	}
+}
+
+func TestSerialForChunksCancel(t *testing.T) {
+	var ran int
+	Serial{}.ForChunksCancel(8, Auto, nil, func(_, lo, hi int) { ran += hi - lo })
+	if ran != 8 {
+		t.Fatalf("nil token: ran %d iterations, want 8", ran)
+	}
+	c := &Cancel{}
+	c.Cancel()
+	Serial{}.ForChunksCancel(8, Auto, c, func(_, lo, hi int) { ran += hi - lo })
+	if ran != 8 {
+		t.Fatalf("fired token: body still ran (%d iterations total)", ran)
+	}
+}

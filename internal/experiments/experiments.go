@@ -92,6 +92,7 @@ func Index() []struct {
 		{"ext-arm", ExtensionARM},
 		{"ext-numasteal", ExtensionNUMASteal},
 		{"ext-adaptive", ExtensionAdaptive},
+		{"ext-serve", ExtensionServe},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

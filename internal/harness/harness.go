@@ -254,6 +254,10 @@ type Result struct {
 	// Counters holds accumulated modeled counters, if recorded.
 	Counters    counters.Set
 	HasCounters bool
+	// Latency is the per-call Seconds distribution (min/max/mean/stddev and
+	// p50/p99) over every SetIterationTime sample, when the suite runs with
+	// a Registry; zero-valued otherwise or under wall-clock timing.
+	Latency counters.RegionStats
 	// Trace summarizes the scheduler events of the final (measured)
 	// attempt, when the suite runs with a Tracer: per-worker chunk-latency
 	// distributions, steal-to-work latency, and idle-gap histograms.
@@ -404,6 +408,9 @@ func (su *Suite) runOne(b Benchmark, args []int64) Result {
 		Counters:   st.ctr,
 	}
 	res.HasCounters = st.ctrRecorded
+	if su.Registry != nil {
+		res.Latency = su.Registry.Stats(name)
+	}
 	if tb != nil {
 		// Summarize only the final attempt — the one the timing comes from.
 		res.Trace = trace.SummarizeWindow(su.Tracer, windowFrom, windowTo)

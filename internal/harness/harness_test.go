@@ -455,3 +455,42 @@ func TestTuneObservesWallClockWithoutManualTiming(t *testing.T) {
 		t.Fatal("no wall-clock observations reached the tuner")
 	}
 }
+
+func TestResultLatencyFromRegistry(t *testing.T) {
+	su := &Suite{Registry: counters.NewRegistry()}
+	su.Register(Benchmark{
+		Name:          "lat",
+		MinTime:       100 * time.Millisecond,
+		MaxIterations: 100,
+		Fn: func(s *State) {
+			i := 0.0
+			for s.Next() {
+				// A virtual ramp 0.01, 0.02, ... s: spread with known order.
+				i++
+				s.SetIterationTime(i / 100)
+			}
+		},
+	})
+	rs := su.Run(nil)
+	lat := rs[0].Latency
+	// The registry sees every attempt of the adaptive loop, so it holds at
+	// least the final attempt's samples.
+	if lat.Calls < rs[0].Iterations || lat.Calls < 2 {
+		t.Fatalf("Latency.Calls = %d, want >= %d", lat.Calls, rs[0].Iterations)
+	}
+	if lat.P50 <= lat.Min || lat.P50 >= lat.P99 || lat.P99 > lat.Max {
+		t.Fatalf("quantiles out of order: min=%v p50=%v p99=%v max=%v",
+			lat.Min, lat.P50, lat.P99, lat.Max)
+	}
+	// Without a registry the field stays zero rather than inventing numbers.
+	su2 := &Suite{}
+	su2.Register(Benchmark{Name: "lat", MinTime: time.Nanosecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(0.5)
+			}
+		}})
+	if l := su2.Run(nil)[0].Latency; l.Calls != 0 {
+		t.Fatalf("Latency populated without a Registry: %+v", l)
+	}
+}

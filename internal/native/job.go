@@ -58,7 +58,8 @@ type job struct {
 
 	// Chunk loops.
 	body   func(worker, lo, hi int)
-	n      int  // iteration space size
+	cancel *exec.Cancel // nil = uncancellable; checked before every chunk
+	n      int          // iteration space size
 	chunks int  // total chunk count
 	parts  int  // scheduled parts (kindStatic / kindBand)
 	base   int  // linear partition: chunk size floor
@@ -194,12 +195,18 @@ func (j *job) runTask(arg int32, worker int) {
 	switch j.kind {
 	case kindStatic:
 		for i := int(arg); i < j.chunks; i += j.parts {
+			if j.cancel.Canceled() {
+				return
+			}
 			r := j.chunkRange(i)
 			j.runChunk(worker, r.Lo, r.Hi)
 		}
 	case kindBand:
 		j.runBand(int(arg), worker)
 	case kindChunk:
+		if j.cancel.Canceled() {
+			return
+		}
 		r := j.chunkRange(int(arg))
 		j.runChunk(worker, r.Lo, r.Hi)
 	case kindThunk:
@@ -227,6 +234,12 @@ func (j *job) runBand(part, worker int) {
 	nb := len(j.bands)
 	ord := &p.stealOrd[worker]
 	for {
+		if j.cancel.Canceled() {
+			// The part's remaining band is abandoned, not drained: sibling
+			// parts observe the same token, so nobody re-adopts the chunks
+			// and the job completes as soon as in-flight chunks return.
+			return
+		}
 		if i, ok := own.take(); ok {
 			r := j.chunkRange(int(i))
 			j.runChunk(worker, r.Lo, r.Hi)

@@ -1,0 +1,140 @@
+package native
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pstlbench/internal/exec"
+)
+
+// TestCloseIdempotent covers the long-running-service lifecycle: a pool
+// owner with several shutdown paths may Close more than once, including
+// concurrently.
+func TestCloseIdempotent(t *testing.T) {
+	p := New(4, StrategyStealing)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	p.Close() // and once more after everyone is done
+}
+
+func mustPanicWith(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one mentioning %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v; want one mentioning %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+// TestUseAfterClosePanics pins the contract that submitting to a closed
+// pool fails loudly instead of parking the caller forever.
+func TestUseAfterClosePanics(t *testing.T) {
+	p := New(2, StrategyStealing)
+	p.Close()
+	mustPanicWith(t, "closed Pool", func() {
+		p.ForChunks(1024, exec.Auto, func(_, _, _ int) {})
+	})
+	mustPanicWith(t, "closed Pool", func() {
+		p.Do(func() {}, func() {})
+	})
+	mustPanicWith(t, "closed Pool", func() {
+		p.Do(func() {}) // even the inline single-thunk path
+	})
+}
+
+// TestForChunksCancelPreFired: a token that fired before submission runs
+// nothing at all.
+func TestForChunksCancelPreFired(t *testing.T) {
+	for _, s := range []Strategy{StrategyForkJoin, StrategyStealing, StrategyCentralQueue} {
+		p := New(4, s)
+		c := &exec.Cancel{}
+		c.Cancel()
+		var ran atomic.Int64
+		p.ForChunksCancel(1<<16, exec.Fine, c, func(_, lo, hi int) { ran.Add(int64(hi - lo)) })
+		p.Close()
+		if got := ran.Load(); got != 0 {
+			t.Errorf("%v: pre-fired token ran %d iterations, want 0", s, got)
+		}
+	}
+}
+
+// TestForChunksCancelMidLoop fires the token from inside the first executed
+// chunk and checks that the loop abandons most of its chunks: every chunk
+// dispatch checks the token, so at most the chunks already past their check
+// (bounded by the worker count) may still run.
+func TestForChunksCancelMidLoop(t *testing.T) {
+	const n = 1 << 16
+	for _, s := range []Strategy{StrategyForkJoin, StrategyStealing, StrategyCentralQueue} {
+		p := New(4, s)
+		c := &exec.Cancel{}
+		var chunks atomic.Int64
+		g := exec.Grain{MinChunk: 16, MaxChunk: 16} // 4096 chunks
+		p.ForChunksCancel(n, g, c, func(_, lo, hi int) {
+			chunks.Add(1)
+			c.Cancel()
+		})
+		p.Close()
+		total := int64(g.ChunkCount(n, 4))
+		if got := chunks.Load(); got >= total/2 {
+			t.Errorf("%v: %d of %d chunks ran after mid-loop cancel", s, got, total)
+		}
+		if !c.Canceled() {
+			t.Errorf("%v: token lost its canceled state", s)
+		}
+	}
+}
+
+// TestForChunksCancelStress races concurrent cancellable loops against
+// external cancel calls on one shared pool — the serving layer's steady
+// state — and checks the pool stays usable afterwards.
+func TestForChunksCancelStress(t *testing.T) {
+	p := New(4, StrategyStealing)
+	defer p.Close()
+	const loops = 64
+	var wg sync.WaitGroup
+	for i := 0; i < loops; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &exec.Cancel{}
+			done := make(chan struct{})
+			go func() {
+				if i%2 == 0 {
+					c.Cancel() // races the submission itself
+				}
+				close(done)
+			}()
+			var ran atomic.Int64
+			p.ForChunksCancel(1<<12, exec.Fine, c, func(_, lo, hi int) {
+				ran.Add(int64(hi - lo))
+			})
+			<-done
+			if !c.Canceled() && ran.Load() != 1<<12 {
+				t.Errorf("uncanceled loop ran %d of %d iterations", ran.Load(), 1<<12)
+			}
+		}()
+	}
+	wg.Wait()
+	// The pool must still run complete, correct loops.
+	var ran atomic.Int64
+	p.ForChunks(1<<12, exec.Fine, func(_, lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 1<<12 {
+		t.Fatalf("pool damaged by cancel stress: ran %d of %d", ran.Load(), 1<<12)
+	}
+}

@@ -109,6 +109,7 @@ type Pool struct {
 }
 
 var _ exec.Pool = (*Pool)(nil)
+var _ exec.CancelPool = (*Pool)(nil)
 
 // New creates a pool with the given number of persistent workers and
 // scheduling strategy. workers < 1 is treated as 1. Close must be called to
@@ -215,11 +216,24 @@ func (p *Pool) Stats() SchedStats {
 }
 
 // Close shuts down the worker goroutines. Pending tasks are drained before
-// the workers exit. The pool must not be used after Close.
+// the workers exit. Close is idempotent: a long-running owner (the serving
+// layer) may close on several shutdown paths without coordinating. The pool
+// must not be used after Close; Do and ForChunks on a closed pool panic.
 func (p *Pool) Close() {
-	p.closed.Store(true)
+	if !p.closed.CompareAndSwap(false, true) {
+		return // already closed (or closing on another goroutine)
+	}
 	close(p.closeCh)
 	p.wg.Wait()
+}
+
+// checkOpen panics when the pool has been closed: submitting to a closed
+// pool would otherwise park the caller forever on a job no worker will ever
+// drain, which in a long-running process is an undebuggable hang.
+func (p *Pool) checkOpen(op string) {
+	if p.closed.Load() {
+		panic("native: " + op + " called on a closed Pool")
+	}
 }
 
 // acquireJob takes a recycled job descriptor from the freelist, growing the
@@ -250,6 +264,7 @@ func (p *Pool) acquireJob() *job {
 // references so the pool does not retain caller closures.
 func (p *Pool) releaseJob(j *job) {
 	j.body = nil
+	j.cancel = nil
 	j.fns = j.fns[:0]
 	p.jobMu.Lock()
 	p.free = append(p.free, j.slot)
@@ -260,6 +275,7 @@ func (p *Pool) releaseJob(j *job) {
 // completed. The calling goroutine executes at least one thunk itself and
 // helps drain the pool while waiting, so nested Do calls cannot deadlock.
 func (p *Pool) Do(fns ...func()) {
+	p.checkOpen("Do")
 	switch len(fns) {
 	case 0:
 		return
@@ -298,7 +314,20 @@ func (p *Pool) Do(fns ...func()) {
 // worker index is in [0, Workers()]: the value Workers() identifies the
 // calling goroutine when it helps execute chunks.
 func (p *Pool) ForChunks(n int, g exec.Grain, body func(worker, lo, hi int)) {
-	if n <= 0 {
+	p.ForChunksCancel(n, g, nil, body)
+}
+
+// ForChunksCancel is ForChunks with a cooperative cancellation token: the
+// dispatch path checks c before every chunk, so once the token fires the
+// job's remaining chunks complete as no-ops and the pool's workers are free
+// within one chunk boundary. A nil token makes it identical to ForChunks —
+// the per-chunk check is then one inlined nil test (BenchmarkCancelOverhead
+// pins the cost next to BenchmarkSchedulerOverhead). Like ForChunks it
+// returns only after every scheduled chunk has completed or been skipped;
+// whether the loop ran to completion is read from the token.
+func (p *Pool) ForChunksCancel(n int, g exec.Grain, c *exec.Cancel, body func(worker, lo, hi int)) {
+	p.checkOpen("ForChunks")
+	if n <= 0 || c.Canceled() {
 		return
 	}
 	P := len(p.ws)
@@ -310,6 +339,7 @@ func (p *Pool) ForChunks(n int, g exec.Grain, body func(worker, lo, hi int)) {
 	j := p.acquireJob()
 	defer p.releaseJob(j)
 	j.body = body
+	j.cancel = c
 	j.n = n
 	j.chunks = chunks
 	j.grain = g

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMS bounds the job's total time in the server, milliseconds.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429 responses (also sent as the standard
+	// Retry-After header, in whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /jobs      submit a job   -> 202 JobInfo | 429 (saturated) | 400
+//	GET    /jobs/{id} job status     -> 200 JobInfo | 404
+//	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
+//	GET    /stats     server stats   -> 200 Stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	spec := Spec{
+		Kernel:   req.Kernel,
+		N:        req.N,
+		Tenant:   req.Tenant,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		var sat *SaturatedError
+		switch {
+		case errors.As(err, &sat):
+			// Backpressure: tell the client when to come back instead of
+			// queueing unboundedly.
+			secs := int64((sat.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{
+				Error:        err.Error(),
+				RetryAfterMS: sat.RetryAfter.Milliseconds(),
+			})
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.Info(j))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

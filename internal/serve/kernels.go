@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"pstlbench/internal/core"
+)
+
+// Kernels lists the job kernels the server accepts, in stable order.
+func Kernels() []string {
+	return []string{"foreach", "reduce", "scan", "sort", "find"}
+}
+
+// KernelValid reports whether name is a servable kernel.
+func KernelValid(name string) bool {
+	for _, k := range Kernels() {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runKernel executes one job body under p (which carries the job's
+// cancellation token) and returns a checksum of the result. ok=false means
+// the token fired and the result is torn: the checksum must be discarded,
+// never reported — the invariant the cancellation property tests pin.
+//
+// Each job owns its data: inputs are allocated and filled per call, so
+// concurrent jobs on the shared pool never alias. The fill is
+// deterministic in n, making checksums reproducible for validation.
+func runKernel(p core.Policy, kernel string, n int) (checksum float64, ok bool) {
+	switch kernel {
+	case "foreach":
+		data := fill(n, func(i int) float64 { return float64(i % 16) })
+		core.ForEach(p, data, func(v *float64) { *v = *v*3 + 1 })
+		checksum = core.Sum(p, data, 0)
+	case "reduce":
+		data := fill(n, func(i int) float64 { return 1 })
+		checksum = core.Sum(p, data, 0)
+	case "scan":
+		data := fill(n, func(i int) float64 { return 1 })
+		dst := make([]float64, n)
+		core.InclusiveScan(p, dst, data, func(a, b float64) float64 { return a + b })
+		checksum = dst[n-1]
+	case "sort":
+		data := fill(n, func(i int) float64 {
+			// Multiplicative LCG: deterministic shuffle-like fill.
+			return float64((uint64(i+1) * 6364136223846793005) % 1_000_003)
+		})
+		core.Sort(p, data)
+		checksum = data[0] + data[n/2] + data[n-1]
+	case "find":
+		data := fill(n, func(i int) float64 { return float64(i) })
+		checksum = float64(core.Find(p, data, float64(n-1)))
+	default:
+		panic(fmt.Sprintf("serve: unknown kernel %q (validated at admission)", kernel))
+	}
+	return checksum, !p.Canceled()
+}
+
+// expectedChecksum returns the reference checksum of a kernel at size n,
+// computed sequentially — the validation oracle of the tests and the
+// loadgen.
+func expectedChecksum(kernel string, n int) float64 {
+	switch kernel {
+	case "foreach":
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += float64(i%16)*3 + 1
+		}
+		return s
+	case "reduce", "scan":
+		return float64(n)
+	case "sort":
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64((uint64(i+1) * 6364136223846793005) % 1_000_003)
+		}
+		sort.Float64s(data)
+		return data[0] + data[n/2] + data[n-1]
+	case "find":
+		return float64(n - 1)
+	}
+	return 0
+}
+
+func fill(n int, f func(int) float64) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = f(i)
+	}
+	return data
+}

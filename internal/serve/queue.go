@@ -1,0 +1,190 @@
+// Package serve turns the algorithm library into a long-running
+// multi-tenant service: a Server admits algorithm jobs (kernel, size,
+// tenant, deadline) onto one shared native.Pool, with bounded admission
+// queues, weighted fair scheduling across tenants, and cooperative
+// cancellation threaded down to chunk granularity.
+//
+// The layering mirrors the paper's backend split: the pool's work-stealing
+// scheduler balances *chunks* of one job across workers (the TBB-style
+// plane the paper measures), while the serving layer schedules *jobs*
+// across tenants on top of it. Job-level weighted fair queuing keeps a
+// small tenant's latency bounded when a heavy tenant floods the queue —
+// the property the ext-serve experiment measures against FIFO.
+package serve
+
+import "container/heap"
+
+// Discipline selects the job-level queueing policy.
+type Discipline int
+
+const (
+	// WFQ (the default) serves jobs by start-time weighted fair queuing
+	// across tenants: each job gets a virtual finish time advanced by
+	// cost/weight on its tenant's virtual lane, and the queue always
+	// serves the smallest finish time. A tenant's share of service
+	// converges to its weight regardless of how many jobs it keeps queued.
+	WFQ Discipline = iota
+	// FIFO serves jobs in strict arrival order regardless of tenant — the
+	// baseline that lets one heavy tenant starve everyone behind it.
+	FIFO
+)
+
+func (d Discipline) String() string {
+	if d == WFQ {
+		return "wfq"
+	}
+	return "fifo"
+}
+
+// ParseDiscipline maps a flag value to a Discipline.
+func ParseDiscipline(s string) (Discipline, bool) {
+	switch s {
+	case "fifo":
+		return FIFO, true
+	case "wfq":
+		return WFQ, true
+	}
+	return FIFO, false
+}
+
+// Item is one queued entry: an opaque value with the tenant and cost that
+// drive the fair-queuing clock.
+type Item struct {
+	// Tenant is the fair-queuing flow the item bills to.
+	Tenant string
+	// Cost is the service-time estimate in arbitrary units (the serving
+	// layer uses the element count); it advances the tenant's virtual lane.
+	Cost float64
+	// Value is the caller's payload.
+	Value any
+}
+
+// queued is Item plus its scheduling keys.
+type queued struct {
+	Item
+	seq    uint64  // arrival order: FIFO key and deterministic tie-break
+	start  float64 // virtual start time (WFQ)
+	finish float64 // virtual finish time (WFQ): the dequeue key
+	index  int     // heap position
+}
+
+// FairQueue is a bounded job queue under a FIFO or WFQ discipline. It is
+// not safe for concurrent use — the Server serializes access under its own
+// lock, and the discrete-event experiment drives it single-threaded.
+type FairQueue struct {
+	disc    Discipline
+	cap     int
+	seq     uint64
+	virtual float64            // virtual clock: start time of the last pop
+	lanes   map[string]float64 // per-tenant virtual finish of the last push
+	weights map[string]float64
+	h       queueHeap
+}
+
+// NewQueue returns an empty queue with the given discipline and capacity
+// (capacity <= 0 means unbounded — the Server always passes a bound).
+func NewQueue(d Discipline, capacity int) *FairQueue {
+	return &FairQueue{
+		disc:    d,
+		cap:     capacity,
+		lanes:   make(map[string]float64),
+		weights: make(map[string]float64),
+	}
+}
+
+// SetWeight fixes a tenant's fair-queuing weight (default 1). Larger
+// weights earn proportionally more service under contention.
+func (q *FairQueue) SetWeight(tenant string, w float64) {
+	if w > 0 {
+		q.weights[tenant] = w
+	}
+}
+
+func (q *FairQueue) weight(tenant string) float64 {
+	if w, ok := q.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Len returns the number of queued items.
+func (q *FairQueue) Len() int { return len(q.h) }
+
+// Push enqueues it; false means the queue is at capacity and the item was
+// rejected (the admission-control signal).
+func (q *FairQueue) Push(it Item) bool {
+	if q.cap > 0 && len(q.h) >= q.cap {
+		return false
+	}
+	e := &queued{Item: it, seq: q.seq}
+	q.seq++
+	if q.disc == WFQ {
+		// Start-time fair queuing: a lane that went idle rejoins at the
+		// current virtual time instead of keeping banked credit.
+		e.start = q.virtual
+		if f := q.lanes[it.Tenant]; f > e.start {
+			e.start = f
+		}
+		cost := it.Cost
+		if cost <= 0 {
+			cost = 1
+		}
+		e.finish = e.start + cost/q.weight(it.Tenant)
+		q.lanes[it.Tenant] = e.finish
+	}
+	heap.Push(&q.h, e)
+	return true
+}
+
+// Pop dequeues the next item under the discipline; ok=false when empty.
+func (q *FairQueue) Pop() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	e := heap.Pop(&q.h).(*queued)
+	if q.disc == WFQ && e.start > q.virtual {
+		q.virtual = e.start
+	}
+	return e.Item, true
+}
+
+// Remove deletes the first item whose Value matches, returning whether one
+// was found — the path a cancellation takes for a still-queued job.
+func (q *FairQueue) Remove(match func(v any) bool) bool {
+	for _, e := range q.h {
+		if match(e.Value) {
+			heap.Remove(&q.h, e.index)
+			return true
+		}
+	}
+	return false
+}
+
+// queueHeap orders by (finish, seq): virtual finish time under WFQ, pure
+// arrival order under FIFO (where finish is always 0).
+type queueHeap []*queued
+
+func (h queueHeap) Len() int { return len(h) }
+func (h queueHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h queueHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *queueHeap) Push(x any) {
+	e := x.(*queued)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *queueHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,568 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pstlbench/internal/core"
+	"pstlbench/internal/counters"
+	"pstlbench/internal/exec"
+	"pstlbench/internal/native"
+	"pstlbench/internal/trace"
+)
+
+// Config configures a Server. The zero value is usable: an owned
+// GOMAXPROCS stealing pool, WFQ, and defaulted bounds.
+type Config struct {
+	// Pool is the shared execution pool; when nil the server creates and
+	// owns one with Workers workers (default GOMAXPROCS) under Strategy
+	// ("forkjoin", "stealing", or "centralqueue"; default "stealing"),
+	// closing it on Close.
+	Pool     *native.Pool
+	Workers  int
+	Strategy string
+
+	// Discipline is the job-level queueing policy (the zero value is WFQ).
+	Discipline Discipline
+	// QueueCap bounds the admission queue (queued jobs, excluding running
+	// ones); submissions beyond it are rejected with a SaturatedError.
+	// Default 64. The queue is the only place jobs wait, so server memory
+	// stays bounded at QueueCap + MaxConcurrent job records plus their
+	// running working sets.
+	QueueCap int
+	// MaxConcurrent is the number of jobs running on the pool at once
+	// (default 1: jobs parallelize internally across all workers via
+	// chunk-level stealing; the fair queue decides which job runs next).
+	MaxConcurrent int
+	// Weights are the per-tenant WFQ weights (default 1 each).
+	Weights map[string]float64
+
+	// Registry receives one end-to-end Seconds sample per completed job
+	// under region "serve:<tenant>", and per-kernel samples under
+	// "serve:<tenant>/<kernel>" — the per-tenant latency distributions
+	// (p50/p99) the Stats endpoint reports. Created when nil.
+	Registry *counters.Registry
+	// Tracer, when non-nil, receives one KindRegion span per job on its
+	// last track, from dispatch to completion, labeled
+	// "serve:<tenant>/<kernel>" with the numeric job ID — so per-job
+	// service intervals land on the same timeline as the pool's chunk and
+	// steal events and a cancelled job's freed workers are visible in the
+	// trace.
+	Tracer *trace.Tracer
+}
+
+// SaturatedError is the admission-control rejection: the queue is at
+// capacity. RetryAfter is the server's backoff hint, derived from the
+// observed service rate and the current backlog.
+type SaturatedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("serve: queue saturated, retry after %v", e.RetryAfter)
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// JobState is the lifecycle state of a job.
+type JobState int
+
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	default:
+		return "canceled"
+	}
+}
+
+// Spec is one job submission.
+type Spec struct {
+	// Kernel names the algorithm (see Kernels).
+	Kernel string
+	// N is the problem size in elements.
+	N int
+	// Tenant is the fair-queuing flow; empty means "default".
+	Tenant string
+	// Deadline, when positive, bounds the job's total time in the server
+	// (queue wait included); past it the job is canceled cooperatively.
+	Deadline time.Duration
+}
+
+// Job is the server-side record of one submission. All fields are guarded
+// by the server lock; read them through Info.
+type Job struct {
+	id   string
+	num  int64
+	spec Spec
+
+	state    JobState
+	reason   string // for StateCanceled: "canceled", "deadline", "shutdown"
+	token    *exec.Cancel
+	timer    *time.Timer
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+	checksum float64
+	done     chan struct{}
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobInfo is a consistent snapshot of a job, the shape the HTTP API serves.
+type JobInfo struct {
+	ID     string `json:"id"`
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+	// Reason qualifies a canceled state: "canceled", "deadline", "shutdown".
+	Reason string `json:"reason,omitempty"`
+	// Checksum is the kernel's result digest, valid only when state=done.
+	Checksum float64 `json:"checksum,omitempty"`
+	// QueueSeconds is time spent waiting for a slot; RunSeconds is service
+	// time; TotalSeconds is end-to-end (what the latency stats report).
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Server is the multi-tenant algorithm service.
+type Server struct {
+	pool    *native.Pool
+	ownPool bool
+	reg     *counters.Registry
+	tb      *trace.Buf
+	tr      *trace.Tracer
+
+	maxConcurrent int
+
+	mu      sync.Mutex
+	q       *FairQueue
+	jobs    map[string]*Job
+	running int
+	nextID  int64
+	closed  bool
+	wg      sync.WaitGroup
+
+	accepted, rejected, completed, canceled, expired int64
+	tenants                                          map[string]*tenantCounts
+	// emaRun tracks service time to derive the Retry-After hint.
+	emaRun float64
+}
+
+type tenantCounts struct {
+	completed, canceled, rejected int64
+}
+
+// New starts a Server from cfg.
+func New(cfg Config) *Server {
+	pool := cfg.Pool
+	own := false
+	if pool == nil {
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		st := native.StrategyStealing
+		switch cfg.Strategy {
+		case "", "stealing":
+		case "forkjoin":
+			st = native.StrategyForkJoin
+		case "centralqueue":
+			st = native.StrategyCentralQueue
+		default:
+			panic(fmt.Sprintf("serve: unknown strategy %q", cfg.Strategy))
+		}
+		pool = native.New(w, st)
+		own = true
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = counters.NewRegistry()
+	}
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = 64
+	}
+	maxc := cfg.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 1
+	}
+	q := NewQueue(cfg.Discipline, qcap)
+	for t, w := range cfg.Weights {
+		q.SetWeight(t, w)
+	}
+	s := &Server{
+		pool:          pool,
+		ownPool:       own,
+		reg:           reg,
+		tr:            cfg.Tracer,
+		maxConcurrent: maxc,
+		q:             q,
+		jobs:          make(map[string]*Job),
+		tenants:       make(map[string]*tenantCounts),
+	}
+	if s.tr != nil {
+		s.tb = s.tr.Buf(s.tr.Tracks() - 1)
+	}
+	return s
+}
+
+// Registry returns the registry holding the per-tenant latency regions.
+func (s *Server) Registry() *counters.Registry { return s.reg }
+
+// Submit admits a job. It returns a *SaturatedError when the queue is at
+// capacity (carrying a Retry-After hint), ErrClosed after Close, and a
+// plain error for an invalid spec.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if !KernelValid(spec.Kernel) {
+		return nil, fmt.Errorf("serve: unknown kernel %q", spec.Kernel)
+	}
+	if spec.N < 1 {
+		return nil, fmt.Errorf("serve: job size %d, want >= 1", spec.N)
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", s.nextID),
+		num:      s.nextID,
+		spec:     spec,
+		token:    &exec.Cancel{},
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	// Admission control: jobs only ever wait in the bounded queue.
+	if !s.q.Push(Item{Tenant: spec.Tenant, Cost: float64(spec.N), Value: j}) {
+		s.rejected++
+		s.tenant(spec.Tenant).rejected++
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		return nil, &SaturatedError{RetryAfter: retry}
+	}
+	s.accepted++
+	s.jobs[j.id] = j
+	if spec.Deadline > 0 {
+		j.timer = time.AfterFunc(spec.Deadline, func() { s.expire(j) })
+	}
+	s.drainLocked()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// retryAfterLocked estimates when a queue slot will free: the backlog
+// drained at the observed per-job service time.
+func (s *Server) retryAfterLocked() time.Duration {
+	per := s.emaRun
+	if per <= 0 {
+		per = 0.01
+	}
+	d := time.Duration(per * float64(s.q.Len()+s.running) / float64(s.maxConcurrent) * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (s *Server) tenant(name string) *tenantCounts {
+	tc := s.tenants[name]
+	if tc == nil {
+		tc = &tenantCounts{}
+		s.tenants[name] = tc
+	}
+	return tc
+}
+
+// drainLocked starts queued jobs while concurrency slots are free.
+func (s *Server) drainLocked() {
+	for !s.closed && s.running < s.maxConcurrent {
+		it, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		j := it.Value.(*Job)
+		j.state = StateRunning
+		j.started = time.Now()
+		s.running++
+		s.wg.Add(1)
+		go s.run(j)
+	}
+}
+
+// run executes one job on the shared pool and finalizes it.
+func (s *Server) run(j *Job) {
+	defer s.wg.Done()
+	p := core.Par(s.pool).WithCancel(j.token)
+	var from int64
+	if s.tb != nil {
+		from = s.tr.Now()
+	}
+	sum, ok := runKernel(p, j.spec.Kernel, j.spec.N)
+	now := time.Now()
+
+	s.mu.Lock()
+	j.finished = now
+	s.running--
+	if ok && !j.token.Canceled() {
+		j.state = StateDone
+		j.checksum = sum
+		s.completed++
+		s.tenant(j.spec.Tenant).completed++
+		total := j.finished.Sub(j.enqueued).Seconds()
+		s.reg.Record("serve:"+j.spec.Tenant, counters.Set{Seconds: total})
+		s.reg.Record("serve:"+j.spec.Tenant+"/"+j.spec.Kernel, counters.Set{Seconds: total})
+		runSec := j.finished.Sub(j.started).Seconds()
+		if s.emaRun == 0 {
+			s.emaRun = runSec
+		} else {
+			s.emaRun = 0.8*s.emaRun + 0.2*runSec
+		}
+	} else {
+		j.state = StateCanceled
+		if j.reason == "" {
+			j.reason = "canceled"
+		}
+		s.canceled++
+		s.tenant(j.spec.Tenant).canceled++
+	}
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	if s.tb != nil {
+		s.tb.Span(trace.KindRegion, from, s.tr.Now(),
+			s.tr.Intern("serve:"+j.spec.Tenant+"/"+j.spec.Kernel), j.num)
+	}
+	close(j.done)
+	s.drainLocked()
+	s.mu.Unlock()
+}
+
+// expire is the deadline path: cancel the job wherever it is.
+func (s *Server) expire(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		s.q.Remove(func(v any) bool { return v == any(j) })
+		s.finishCanceledLocked(j, "deadline")
+		s.expired++
+	case StateRunning:
+		j.reason = "deadline"
+		s.expired++
+		j.token.Cancel() // run() observes the token and finalizes
+	}
+}
+
+// finishCanceledLocked retires a job that never ran.
+func (s *Server) finishCanceledLocked(j *Job, reason string) {
+	j.state = StateCanceled
+	j.reason = reason
+	j.finished = time.Now()
+	j.token.Cancel()
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	s.canceled++
+	s.tenant(j.spec.Tenant).canceled++
+	close(j.done)
+}
+
+// Cancel cancels a job by ID: a queued job is withdrawn immediately, a
+// running one is canceled cooperatively (its workers abandon the job at
+// the next chunk boundary). Canceling a finished or unknown job is a
+// reported no-op.
+func (s *Server) Cancel(id string) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobInfo{}, fmt.Errorf("serve: no job %q", id)
+	}
+	switch j.state {
+	case StateQueued:
+		s.q.Remove(func(v any) bool { return v == any(j) })
+		s.finishCanceledLocked(j, "canceled")
+	case StateRunning:
+		j.token.Cancel() // run() finalizes at the next chunk boundary
+	}
+	return s.infoLocked(j), nil
+}
+
+// Get returns a job snapshot.
+func (s *Server) Get(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobInfo{}, false
+	}
+	return s.infoLocked(j), true
+}
+
+// Info returns a snapshot of j.
+func (s *Server) Info(j *Job) JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked(j)
+}
+
+func (s *Server) infoLocked(j *Job) JobInfo {
+	info := JobInfo{
+		ID:     j.id,
+		Kernel: j.spec.Kernel,
+		N:      j.spec.N,
+		Tenant: j.spec.Tenant,
+		State:  j.state.String(),
+		Reason: j.reason,
+	}
+	switch j.state {
+	case StateQueued:
+		info.QueueSeconds = time.Since(j.enqueued).Seconds()
+	case StateRunning:
+		info.QueueSeconds = j.started.Sub(j.enqueued).Seconds()
+		info.RunSeconds = time.Since(j.started).Seconds()
+	default:
+		if !j.started.IsZero() {
+			info.QueueSeconds = j.started.Sub(j.enqueued).Seconds()
+			info.RunSeconds = j.finished.Sub(j.started).Seconds()
+		} else {
+			info.QueueSeconds = j.finished.Sub(j.enqueued).Seconds()
+		}
+		info.TotalSeconds = j.finished.Sub(j.enqueued).Seconds()
+		if j.state == StateDone {
+			info.Checksum = j.checksum
+		}
+	}
+	return info
+}
+
+// TenantStats is the per-tenant slice of Stats.
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Completed int64  `json:"completed"`
+	Canceled  int64  `json:"canceled"`
+	Rejected  int64  `json:"rejected"`
+	// End-to-end latency of completed jobs, seconds.
+	MeanSeconds float64 `json:"mean_seconds,omitempty"`
+	P50Seconds  float64 `json:"p50_seconds,omitempty"`
+	P99Seconds  float64 `json:"p99_seconds,omitempty"`
+}
+
+// Stats is the server-wide snapshot the /stats endpoint serves.
+type Stats struct {
+	Discipline string        `json:"discipline"`
+	Workers    int           `json:"workers"`
+	Queued     int           `json:"queued"`
+	Running    int           `json:"running"`
+	Accepted   int64         `json:"accepted"`
+	Rejected   int64         `json:"rejected"`
+	Completed  int64         `json:"completed"`
+	Canceled   int64         `json:"canceled"`
+	Expired    int64         `json:"expired"`
+	Tenants    []TenantStats `json:"tenants"`
+}
+
+// Stats returns a consistent snapshot of the server counters and the
+// per-tenant latency distributions.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for t := range s.tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	st := Stats{
+		Discipline: s.q.disc.String(),
+		Workers:    s.pool.Workers(),
+		Queued:     s.q.Len(),
+		Running:    s.running,
+		Accepted:   s.accepted,
+		Rejected:   s.rejected,
+		Completed:  s.completed,
+		Canceled:   s.canceled,
+		Expired:    s.expired,
+	}
+	type pair struct {
+		t  string
+		tc tenantCounts
+	}
+	pairs := make([]pair, 0, len(names))
+	for _, t := range names {
+		pairs = append(pairs, pair{t, *s.tenants[t]})
+	}
+	s.mu.Unlock()
+	// Registry reads take the registry's own lock; do them outside ours.
+	for _, p := range pairs {
+		ts := TenantStats{
+			Tenant:    p.t,
+			Completed: p.tc.completed,
+			Canceled:  p.tc.canceled,
+			Rejected:  p.tc.rejected,
+		}
+		if rs := s.reg.Stats("serve:" + p.t); rs.Calls > 0 {
+			ts.MeanSeconds = rs.Mean
+			ts.P50Seconds = rs.P50
+			ts.P99Seconds = rs.P99
+		}
+		st.Tenants = append(st.Tenants, ts)
+	}
+	return st
+}
+
+// Close drains the server: queued jobs are canceled with reason
+// "shutdown", running jobs are canceled cooperatively and waited for, and
+// an owned pool is closed. Close is idempotent; Submit fails afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for {
+		it, ok := s.q.Pop()
+		if !ok {
+			break
+		}
+		s.finishCanceledLocked(it.Value.(*Job), "shutdown")
+	}
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			j.reason = "shutdown"
+			j.token.Cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.ownPool {
+		s.pool.Close()
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSubmitCancelStress races many clients submitting, polling,
+// and canceling jobs on one shared pool — the serving layer's steady state
+// and the main -race target of the subsystem. Every completed job's
+// checksum must validate: a canceled job may be torn, a done one never.
+func TestConcurrentSubmitCancelStress(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, MaxConcurrent: 2, QueueCap: 32})
+	const clients = 8
+	iters := 20
+	if testing.Short() {
+		iters = 5
+	}
+	var torn, completed, canceled atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			kernels := Kernels()
+			for i := 0; i < iters; i++ {
+				k := kernels[rng.Intn(len(kernels))]
+				n := 1 << (12 + rng.Intn(6))
+				spec := Spec{Kernel: k, N: n, Tenant: []string{"a", "b", "c"}[c%3]}
+				if rng.Intn(4) == 0 {
+					spec.Deadline = time.Duration(rng.Intn(3)) * time.Millisecond
+				}
+				j, err := s.Submit(spec)
+				if err != nil {
+					var sat *SaturatedError
+					if errors.As(err, &sat) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if rng.Intn(3) == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+					s.Cancel(j.ID())
+				}
+				<-j.Done()
+				info := s.Info(j)
+				switch info.State {
+				case "done":
+					completed.Add(1)
+					if info.Checksum != expectedChecksum(k, n) {
+						torn.Add(1)
+						t.Errorf("torn result escaped: %s n=%d checksum=%v want=%v",
+							k, n, info.Checksum, expectedChecksum(k, n))
+					}
+				case "canceled":
+					canceled.Add(1)
+				default:
+					t.Errorf("job %s terminal state %s", j.ID(), info.State)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if completed.Load() == 0 {
+		t.Fatal("stress run completed zero jobs")
+	}
+	t.Logf("completed=%d canceled=%d torn=%d", completed.Load(), canceled.Load(), torn.Load())
+	// The server must still be healthy.
+	j, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if info := s.Info(j); info.State != "done" {
+		t.Fatalf("post-stress job: %s", info.State)
+	}
+	st := s.Stats()
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("leaked work: queued=%d running=%d", st.Queued, st.Running)
+	}
+}

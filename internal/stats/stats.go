@@ -48,6 +48,40 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)-1))
 }
 
+// Percentile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation between order statistics — the estimator the serving
+// layer's latency reporting uses for p50/p99. Empty input returns 0.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return PercentileSorted(c, q)
+}
+
+// PercentileSorted is Percentile over already-sorted input, without the
+// copy — for callers taking several quantiles from one sample set.
+func PercentileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
 // CV returns the coefficient of variation (stddev/mean).
 func CV(xs []float64) float64 {
 	m := Mean(xs)

@@ -35,6 +35,7 @@ package tune
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -187,12 +188,13 @@ func grainFor(c int) exec.Grain {
 	return exec.Grain{MinChunk: c, MaxChunk: c}
 }
 
-// lookup returns the state for k, creating it at the exec.Auto operating
-// point on first use. Callers hold t.mu.
+// lookup returns the state for k, creating it on first use at the seeded
+// operating point: a cross-size interpolation over converged sibling keys
+// when any exist, exec.Auto otherwise. Callers hold t.mu.
 func (t *Tuner) lookup(k Key) *state {
 	s := t.st[k]
 	if s == nil {
-		c := t.clamp(k, autoChunkFor(k))
+		c := t.seedChunk(k)
 		s = &state{
 			cur:     c,
 			dir:     +1,
@@ -204,6 +206,69 @@ func (t *Tuner) lookup(k Key) *state {
 		t.st[k] = s
 	}
 	return s
+}
+
+// seedChunk picks the starting chunk for an unseen key. When sibling keys —
+// same Site and Workers at other sizes — have already converged, their
+// operating points form a ladder in (log2 n, log2 chunk) space; the seed
+// interpolates that ladder linearly at the new size (extrapolating the end
+// segments, or assuming chunk ∝ n when only one sibling exists) and rounds
+// to the nearest power of two. The seed only positions the hill-climb's
+// first probe — the climb still runs and can walk away from a bad seed —
+// but a converged run at 2^20 makes the first proposal at 2^21 land near
+// the optimum instead of back at exec.Auto. Callers hold t.mu.
+func (t *Tuner) seedChunk(k Key) int {
+	type point struct{ ln, lc float64 }
+	var pts []point
+	for sk, ss := range t.st {
+		if sk.Site != k.Site || sk.Workers != k.Workers || sk.N == k.N {
+			continue
+		}
+		if !ss.locked || ss.best < 1 || sk.N <= 0 {
+			continue
+		}
+		pts = append(pts, point{math.Log2(float64(sk.N)), math.Log2(float64(ss.best))})
+	}
+	if len(pts) == 0 {
+		return t.clamp(k, autoChunkFor(k))
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].ln < pts[j].ln })
+	target := math.Log2(float64(k.N))
+	var lc float64
+	switch {
+	case len(pts) == 1:
+		// One sibling: assume the chunk scales with n (constant chunk
+		// count), the behavior of a converged bandwidth-bound loop.
+		lc = pts[0].lc + (target - pts[0].ln)
+	case target <= pts[0].ln:
+		lc = extrapolate(pts[0], pts[1], target)
+	case target >= pts[len(pts)-1].ln:
+		lc = extrapolate(pts[len(pts)-2], pts[len(pts)-1], target)
+	default:
+		for i := 1; i < len(pts); i++ {
+			if target <= pts[i].ln {
+				lc = extrapolate(pts[i-1], pts[i], target)
+				break
+			}
+		}
+	}
+	e := int(math.Round(lc))
+	if e < 0 {
+		e = 0
+	}
+	if e > 30 {
+		e = 30
+	}
+	return t.clamp(k, 1<<e)
+}
+
+// extrapolate evaluates the line through (a.ln, a.lc) and (b.ln, b.lc) at x.
+func extrapolate(a, b struct{ ln, lc float64 }, x float64) float64 {
+	if b.ln == a.ln {
+		return a.lc
+	}
+	slope := (b.lc - a.lc) / (b.ln - a.ln)
+	return a.lc + slope*(x-a.ln)
 }
 
 func (t *Tuner) clamp(k Key, c int) int {

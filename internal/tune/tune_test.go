@@ -2,6 +2,7 @@ package tune_test
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -298,5 +299,83 @@ func TestSourceKeysBySize(t *testing.T) {
 	want := exec.Auto.ChunkCount(1<<10, 8)
 	if got := g2.ChunkCount(1<<10, 8); got != want {
 		t.Fatalf("fresh size starts with %d chunks, want auto's %d", got, want)
+	}
+}
+
+// syntheticLandscape models a loop whose optimal chunk scales with n
+// (optimum at n/8, above the exec.Auto start so the default coarsening
+// probe is the right direction): seconds grow with the ladder distance
+// from the optimum, deterministically, so climbs are reproducible.
+func syntheticLandscape(n, chunk int) float64 {
+	opt := float64(n) / 8
+	d := math.Abs(math.Log2(float64(chunk)) - math.Log2(opt))
+	return 1e-3 * (1 + 0.25*d)
+}
+
+// driveToLock runs the propose/observe loop against the synthetic landscape
+// until the tuner locks, returning the number of observations it took.
+func driveToLock(t *testing.T, tn *tune.Tuner, k tune.Key) int {
+	t.Helper()
+	for i := 1; i <= 100; i++ {
+		c := chunkOf(t, tn.Propose(k))
+		tn.Observe(k, tune.Observation{Seconds: syntheticLandscape(k.N, c)})
+		if tn.Converged(k) {
+			return i
+		}
+	}
+	t.Fatalf("tuner never converged for %v", k)
+	return 0
+}
+
+// TestCrossSizeSeeding: a converged operating point at 2^20 must seed the
+// climb at the unseen 2^21 near the scaled optimum, shortening convergence
+// relative to a cold start from exec.Auto.
+func TestCrossSizeSeeding(t *testing.T) {
+	warm := tune.New(tune.Options{})
+	k20 := tune.Key{Site: "for_each", N: 1 << 20, Workers: 8}
+	k21 := tune.Key{Site: "for_each", N: 1 << 21, Workers: 8}
+	driveToLock(t, warm, k20)
+
+	// The first proposal for the unseen size starts near the scaled
+	// optimum, not back at exec.Auto.
+	seed := chunkOf(t, warm.Propose(k21))
+	opt := (1 << 21) / 8
+	if seed < opt/2 || seed > opt*2 {
+		t.Fatalf("warm seed chunk = %d, want within 2x of %d", seed, opt)
+	}
+
+	cold := tune.New(tune.Options{})
+	warmIters := driveToLock(t, warm, k21)
+	coldIters := driveToLock(t, cold, k21)
+	if warmIters >= coldIters {
+		t.Fatalf("warm start took %d observations, cold %d; seeding must shorten the climb",
+			warmIters, coldIters)
+	}
+
+	// Both must still find the same optimum: seeding biases the start, not
+	// the result.
+	wb, _, _ := warm.Best(k21)
+	cb, _, _ := cold.Best(k21)
+	if wb != cb && (wb < opt/2 || wb > opt*2) {
+		t.Fatalf("warm best %d, cold best %d, optimum %d", wb, cb, opt)
+	}
+}
+
+// TestCrossSizeSeedingInterpolates: with two converged sizes the seed for
+// an in-between size interpolates the (log2 n, log2 chunk) ladder.
+func TestCrossSizeSeedingInterpolates(t *testing.T) {
+	tn := tune.New(tune.Options{})
+	driveToLock(t, tn, tune.Key{Site: "scan", N: 1 << 18, Workers: 8})
+	driveToLock(t, tn, tune.Key{Site: "scan", N: 1 << 22, Workers: 8})
+	seed := chunkOf(t, tn.Propose(tune.Key{Site: "scan", N: 1 << 20, Workers: 8}))
+	opt := (1 << 20) / 8
+	if seed < opt/2 || seed > opt*2 {
+		t.Fatalf("interpolated seed = %d, want within 2x of %d", seed, opt)
+	}
+	// A different site or worker count must not inherit the ladder.
+	other := chunkOf(t, tn.Propose(tune.Key{Site: "sort", N: 1 << 20, Workers: 8}))
+	want := chunkOf(t, tune.New(tune.Options{}).Propose(tune.Key{Site: "sort", N: 1 << 20, Workers: 8}))
+	if other != want {
+		t.Fatalf("unrelated site seeded to %d, want auto's %d", other, want)
 	}
 }
