@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench serve loadgen check
+.PHONY: all vet build test race bench fusion serve loadgen check
 
 all: check
 
@@ -14,15 +14,26 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the work-stealing scheduler,
-# the algorithms that drive it, the event-tracing layer its workers write
-# to, the simulator that emits virtual-time traces, the adaptive grain
-# tuner fed concurrently by harness observations, and the multi-tenant
-# job server racing submits against cancels on one shared pool.
+# the algorithms that drive it, the fused pipelines compiled onto it, the
+# event-tracing layer its workers write to, the simulator that emits
+# virtual-time traces, the adaptive grain tuner fed concurrently by harness
+# observations, and the multi-tenant job server racing batched submits
+# against cancels on one shared pool.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
+
+# Fused-pipeline comparison: the 3-stage chain as staged core passes vs one
+# fused chunk-granular pass (Go benchmarks, then the pstlbench chain rows
+# with modeled traffic columns, then the full ext-fusion report with the
+# simulator's predicted traffic drop next to the measured native win).
+fusion:
+	$(GO) test -run 'xxx' -bench 'FusedVsStaged' -benchtime 3x ./internal/pipeline/
+	$(GO) test -run 'xxx' -bench 'BatchedDispatch' -benchtime 3x ./internal/serve/
+	$(GO) run ./cmd/pstlbench -mode native -fused -algo reduce -minexp 20 -maxexp 22 -filter chain
+	$(GO) run ./cmd/pstlreport -exp ext-fusion -scale 4
 
 # Run the algorithm-serving daemon on the local pool.
 serve:

@@ -34,6 +34,7 @@ import (
 	"pstlbench/internal/kernels"
 	"pstlbench/internal/machine"
 	"pstlbench/internal/native"
+	"pstlbench/internal/pipeline"
 	"pstlbench/internal/report"
 	"pstlbench/internal/simexec"
 	"pstlbench/internal/skeleton"
@@ -58,6 +59,7 @@ func main() {
 		minTime   = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per benchmark (native mode)")
 		grainName = flag.String("grain", "", "grain policy: auto, static, fine, guided, or adaptive (online tuner keyed by loop site/size/workers; sim mode overrides the backend's own grain)")
 		tuneCache = flag.String("tune-cache", "", "JSON tuning-cache file for -grain=adaptive: imported before the run when present (warm start), rewritten after")
+		fused     = flag.Bool("fused", false, "add fused-vs-staged pipeline chain benchmarks (3-stage element-wise chains; sim and native modes) with modeled traffic columns")
 		filter    = flag.String("filter", "", "regexp filter on benchmark instance names")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut   = flag.Bool("json", false, "emit JSON records instead of a table")
@@ -93,8 +95,11 @@ func main() {
 	switch *mode {
 	case "sim":
 		suite.Tracer = registerSim(suite, *machName, *backends, selKernels, *kit, *minExp, *maxExp, *threads, *alloc, *numaSteal, tracing, gs)
+		if *fused {
+			registerFusedSim(suite, *machName, *backends, *minExp, *maxExp, *threads, *alloc)
+		}
 	case "native":
-		suite.Tracer = registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal, tracing, gs)
+		suite.Tracer = registerNative(suite, *strategy, *workers, selKernels, *kit, *minExp, *maxExp, *minTime, *machName, *numaSteal, tracing, gs, *fused)
 	default:
 		fatal("unknown -mode %q", *mode)
 	}
@@ -112,7 +117,7 @@ func main() {
 		return
 	}
 	t := &report.Table{
-		Headers: []string{"Benchmark", "Iterations", "Time/call", "Stddev", "P99", "GiB/s"},
+		Headers: []string{"Benchmark", "Iterations", "Time/call", "Stddev", "P99", "GiB/s", "Traffic/call"},
 	}
 	for _, r := range results {
 		stddev, p99 := "-", "-"
@@ -120,12 +125,17 @@ func main() {
 			stddev = fmt.Sprintf("%.3g s", s.StdDev)
 			p99 = fmt.Sprintf("%.3g s", s.P99)
 		}
+		traffic := "-"
+		if r.TrafficBytes > 0 {
+			traffic = fmt.Sprintf("%.1f MiB", float64(r.TrafficBytes)/(1<<20))
+		}
 		t.AddRow(r.FullName(),
 			fmt.Sprintf("%d", r.Iterations),
 			fmt.Sprintf("%.6g s", r.Seconds),
 			stddev,
 			p99,
-			fmt.Sprintf("%.2f", r.BytesPerSec/(1<<30)))
+			fmt.Sprintf("%.2f", r.BytesPerSec/(1<<30)),
+			traffic)
 	}
 	if *csv {
 		fmt.Print(t.CSV())
@@ -164,6 +174,8 @@ type jsonRecord struct {
 	SecondsP50    float64 `json:"seconds_p50,omitempty"`
 	SecondsP99    float64 `json:"seconds_p99,omitempty"`
 	BytesPerSec   float64 `json:"bytes_per_sec,omitempty"`
+	// Modeled DRAM traffic per call (pipeline chains under -fused).
+	TrafficBytes int64 `json:"traffic_bytes,omitempty"`
 	// Modeled counters, when the simulator produced them.
 	Instructions float64 `json:"instructions,omitempty"`
 	DRAMBytes    float64 `json:"dram_bytes,omitempty"`
@@ -180,10 +192,11 @@ func emitJSON(results []harness.Result) {
 	enc := json.NewEncoder(os.Stdout)
 	for _, r := range results {
 		rec := jsonRecord{
-			Name:        r.FullName(),
-			Iterations:  r.Iterations,
-			Seconds:     r.Seconds,
-			BytesPerSec: r.BytesPerSec,
+			Name:         r.FullName(),
+			Iterations:   r.Iterations,
+			Seconds:      r.Seconds,
+			BytesPerSec:  r.BytesPerSec,
+			TrafficBytes: r.TrafficBytes,
 		}
 		if s := r.Latency; s.Calls > 1 {
 			rec.SecondsStdDev = s.StdDev
@@ -388,7 +401,7 @@ func registerSim(suite *harness.Suite, machName, backendSpec string, ks []kernel
 // topology, as if the workers were pinned to that machine's core layout.
 // With tracing, it returns a wall-clock tracer with one track per pool
 // worker, a caller track, and the harness marker track.
-func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal, tracing bool, gs grainSpec) *trace.Tracer {
+func registerNative(suite *harness.Suite, strategyName string, workers int, ks []kernels.Kernel, kit, minExp, maxExp int, minTime time.Duration, machName string, numaSteal, tracing bool, gs grainSpec, fused bool) *trace.Tracer {
 	var policy core.Policy
 	var tr *trace.Tracer
 	switch strategyName {
@@ -467,5 +480,167 @@ func registerNative(suite *harness.Suite, strategyName string, workers int, ks [
 			},
 		})
 	}
+	if fused {
+		registerFusedNative(suite, policy, minTime, minExp, maxExp, gs)
+	}
 	return tr
+}
+
+// registerFusedNative adds the staged-vs-fused 3-stage chain benchmarks on
+// the real library: the same chain run as separate core passes with a
+// materialized intermediate, and as one fused pipeline pass. Each instance
+// reports its modeled DRAM traffic (pipeline.ModelTraffic) next to the
+// measured time — the traffic column the JSON records carry as
+// traffic_bytes.
+func registerFusedNative(suite *harness.Suite, policy core.Policy, minTime time.Duration, minExp, maxExp int, gs grainSpec) {
+	var args [][]int64
+	for e := minExp; e <= maxExp; e++ {
+		args = append(args, []int64{1 << e})
+	}
+	f := func(v float64) float64 { return v*3 + 1 }
+	g := func(v float64) float64 { return v * 0.5 }
+	gen := func(i int) float64 { return float64((uint64(i+1) * 6364136223846793005) >> 40) }
+
+	register := func(site string, traffic func(n int) int64, body func(p core.Policy, n int, st *harness.State)) {
+		suite.Register(harness.Benchmark{
+			Name: site, Args: args, MinTime: minTime,
+			Fn: func(st *harness.State) {
+				n := int(st.Range(0))
+				p := policy
+				if gs.adaptive && p.Pool != nil {
+					st.Tune(tune.Key{Site: site, N: n, Workers: p.Pool.Workers()})
+					p = p.WithGrainSource(gs.tuner.Site(site))
+				}
+				body(p, n, st)
+				st.SetItemsProcessed(int64(st.Iterations()) * int64(n))
+				st.SetTrafficBytes(int64(st.Iterations()) * traffic(n))
+			},
+		})
+	}
+
+	// Traffic models come from the skeleton chain constants, which the
+	// skeleton tests pin to pipeline.ModelTraffic.
+	fromChain := skeleton.Chain{Stages: 2, Terminal: "reduce"}
+	genChain := skeleton.Chain{Stages: 2, Terminal: "reduce", Generate: true}
+	perElem := func(c skeleton.Chain, fusedRun bool) func(n int) int64 {
+		return func(n int) int64 {
+			if fusedRun {
+				return int64(c.FusedBytesPerElem() * float64(n))
+			}
+			return int64(c.StagedBytesPerElem() * float64(n))
+		}
+	}
+
+	register("chain_sum/native/staged", perElem(fromChain, false),
+		func(p core.Policy, n int, st *harness.State) {
+			src := chainSrc(n)
+			tmp := make([]float64, n)
+			for st.Next() {
+				core.Transform(p, tmp, src, f)
+				core.Transform(p, tmp, tmp, g)
+				sink = core.Sum(p, tmp, 0)
+			}
+		})
+	register("chain_sum/native/fused", perElem(fromChain, true),
+		func(p core.Policy, n int, st *harness.State) {
+			src := chainSrc(n)
+			pl := pipeline.From(src).Transform(f).Transform(g)
+			for st.Next() {
+				sink = pipeline.Sum(p, pl, 0)
+			}
+		})
+	register("chain_gen_sum/native/staged", perElem(genChain, false),
+		func(p core.Policy, n int, st *harness.State) {
+			tmp := make([]float64, n)
+			for st.Next() {
+				core.Generate(p, tmp, gen)
+				core.Transform(p, tmp, tmp, f)
+				core.Transform(p, tmp, tmp, g)
+				sink = core.Sum(p, tmp, 0)
+			}
+		})
+	register("chain_gen_sum/native/fused", perElem(genChain, true),
+		func(p core.Policy, n int, st *harness.State) {
+			pl := pipeline.Generate(n, gen).Transform(f).Transform(g)
+			for st.Next() {
+				sink = pipeline.Sum(p, pl, 0)
+			}
+		})
+}
+
+// sink defeats dead-code elimination of the benchmark bodies.
+var sink float64
+
+// chainSrc builds the slice source for the chain benchmarks.
+func chainSrc(n int) []float64 {
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i % 4096)
+	}
+	return src
+}
+
+// registerFusedSim adds simulated staged-vs-fused chain benchmarks: the
+// chain skeletons run through simexec.RunPhases on the selected machine,
+// predicting the traffic drop the native rows measure.
+func registerFusedSim(suite *harness.Suite, machName, backendSpec string, minExp, maxExp, threads int, allocName string) {
+	m := machine.ByName(machName)
+	if m == nil {
+		fatal("unknown machine %q", machName)
+	}
+	if threads <= 0 || threads > m.Cores {
+		threads = m.Cores
+	}
+	var alloc allocsim.Strategy
+	if allocName == "default" {
+		alloc = allocsim.Default
+	} else {
+		alloc = allocsim.FirstTouch
+	}
+	var args [][]int64
+	for e := minExp; e <= maxExp; e++ {
+		args = append(args, []int64{1 << e})
+	}
+	chain := skeleton.Chain{Stages: 2, Terminal: "reduce"}
+	for _, b := range selectBackends(backendSpec) {
+		if b.IsGPU() || b.IsSequential() {
+			continue
+		}
+		for _, fusedRun := range []bool{false, true} {
+			b, fusedRun := b, fusedRun
+			disc := "staged"
+			if fusedRun {
+				disc = "fused"
+			}
+			suite.Register(harness.Benchmark{
+				Name: fmt.Sprintf("chain_sum/%s/%s/%s", machName, b.ID, disc),
+				Args: args,
+				Fn: func(st *harness.State) {
+					n := st.Range(0)
+					w := skeleton.Workload{Op: backend.OpTransform, N: n, ElemBytes: 8, Kit: 1}
+					var phases []skeleton.Phase
+					var par bool
+					if fusedRun {
+						phases, par = skeleton.FusedChainPhases(w, chain, b, threads, m)
+					} else {
+						phases, par = skeleton.StagedChainPhases(w, chain, b, threads, m)
+					}
+					for st.Next() {
+						r := simexec.RunPhases(simexec.Config{
+							Machine: m, Backend: b, Workload: w,
+							Threads: threads, Alloc: alloc,
+						}, phases, skeleton.ChainWorkingSet(w, chain, fusedRun), par)
+						st.SetIterationTime(r.Seconds)
+						st.RecordCounters(r.Counters)
+					}
+					perElem := chain.StagedBytesPerElem()
+					if fusedRun {
+						perElem = chain.FusedBytesPerElem()
+					}
+					st.SetBytesProcessed(int64(st.Iterations()) * n * 8)
+					st.SetTrafficBytes(int64(st.Iterations()) * int64(perElem*float64(n)))
+				},
+			})
+		}
+	}
 }

@@ -48,6 +48,8 @@ func main() {
 		queueCap = flag.Int("queue-cap", 64, "admission queue bound (jobs waiting beyond it are rejected with Retry-After)")
 		maxConc  = flag.Int("max-concurrent", 1, "jobs running on the pool at once")
 		weights  = flag.String("weights", "", "per-tenant WFQ weights, e.g. gold=3,bronze=1")
+		smallMax = flag.Int("small-job-max", 0, "batch same-tenant jobs of n <= this into one pool submission (0 disables)")
+		batchMax = flag.Int("batch-max", 16, "max jobs coalesced into one batched submission")
 		loadgen  = flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
 		duration = flag.Duration("duration", 2*time.Second, "loadgen run time")
 		spec     = flag.String("spec", "big:1:sort:262144:4,small:1:reduce:16384:2",
@@ -66,6 +68,8 @@ func main() {
 		QueueCap:      *queueCap,
 		MaxConcurrent: *maxConc,
 		Weights:       parseWeights(*weights),
+		SmallJobMax:   *smallMax,
+		BatchMax:      *batchMax,
 	}
 
 	if *loadgen {

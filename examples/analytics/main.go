@@ -14,6 +14,7 @@ import (
 
 	"pstlbench/internal/core"
 	"pstlbench/internal/native"
+	"pstlbench/internal/pipeline"
 )
 
 func main() {
@@ -41,9 +42,11 @@ func main() {
 	less := func(a, b float64) bool { return a < b }
 	lo, hi := core.MinMaxElement(p, prices, less)
 	mean := core.Sum(p, prices, 0) / n
-	variance := core.TransformReduce(p, prices, 0.0,
-		func(a, b float64) float64 { return a + b },
-		func(v float64) float64 { d := v - mean; return d * d }) / n
+	// Second moment as a fused pipeline: center and square run in one
+	// pass over prices, never materializing the deviations.
+	variance := pipeline.Sum(p, pipeline.From(prices).
+		Map(func(v float64) float64 { return v - mean }).
+		Map(func(d float64) float64 { return d * d }), 0) / n
 	fmt.Printf("series:  n=%d  min=%.2f@%d  max=%.2f@%d\n", n, prices[lo], lo, prices[hi], hi)
 	fmt.Printf("moments: mean=%.3f  stddev=%.3f\n", mean, math.Sqrt(variance))
 

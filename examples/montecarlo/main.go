@@ -14,6 +14,7 @@ import (
 
 	"pstlbench/internal/core"
 	"pstlbench/internal/native"
+	"pstlbench/internal/pipeline"
 )
 
 // trial runs `rounds` pseudo-random dart throws seeded by the index and
@@ -51,16 +52,20 @@ func main() {
 	fmt.Printf("monte-carlo pi with %d cells on %d workers\n", cells, workers)
 	fmt.Printf("%-10s  %-12s  %-12s  %-8s  %s\n", "rounds", "sequential", "parallel", "speedup", "pi")
 
-	hits := make([]int, cells)
 	for _, rounds := range []int{16, 256, 4096} {
+		// Generate -> Sum is a fully fused pipeline: the trial results
+		// are consumed by the reduction as they are produced, so no hits
+		// array ever exists.
+		rounds := rounds
+		pl := pipeline.Generate(cells, func(i int) int { return trial(i, rounds) })
+		var inside int
 		run := func(p core.Policy) time.Duration {
 			start := time.Now()
-			core.ForEachIndex(p, hits, func(i int, out *int) { *out = trial(i, rounds) })
+			inside = pipeline.Sum(p, pl, 0)
 			return time.Since(start)
 		}
 		seqT := run(seq)
 		parT := run(par)
-		inside := core.Sum(par, hits, 0)
 		pi := 4 * float64(inside) / float64(cells*rounds)
 		fmt.Printf("%-10d  %-12v  %-12v  %-8.2f  %.4f (err %.5f)\n",
 			rounds, seqT, parT, float64(seqT)/float64(parT), pi, math.Abs(pi-math.Pi))

@@ -12,6 +12,7 @@ import (
 
 	"pstlbench/internal/core"
 	"pstlbench/internal/native"
+	"pstlbench/internal/pipeline"
 )
 
 func main() {
@@ -68,4 +69,28 @@ func main() {
 
 	fmt.Printf("sort:           sorted = %v, parallel %v vs sequential %v\n",
 		core.IsSorted(par, perm, func(a, b float64) bool { return a < b }), parTime, seqTime)
+
+	// Fused pipelines: compose element-wise stages lazily and run them as
+	// ONE chunk-granular pass — no intermediate arrays. The staged form of
+	// sum(g(f(x))) below streams three arrays through memory; the fused
+	// form reads the source once.
+	pl := pipeline.From(data).
+		Map(func(v float64) float64 { return v*3 + 1 }).
+		Map(func(v float64) float64 { return v * 0.5 })
+
+	start = time.Now()
+	fusedSum := pipeline.Sum(par, pl, 0)
+	fusedTime := time.Since(start)
+
+	start = time.Now()
+	tmp1 := make([]float64, n)
+	core.Transform(par, tmp1, data, func(v float64) float64 { return v*3 + 1 })
+	tmp2 := make([]float64, n)
+	core.Transform(par, tmp2, tmp1, func(v float64) float64 { return v * 0.5 })
+	stagedSum := core.Sum(par, tmp2, 0)
+	stagedTime := time.Since(start)
+
+	tr := pl.ModelTraffic(8, "reduce")
+	fmt.Printf("pipeline:       sum = %.0f (staged %.0f), fused %v vs staged %v, modeled traffic %d vs %d MiB\n",
+		fusedSum, stagedSum, fusedTime, stagedTime, tr.Fused>>20, tr.Staged>>20)
 }

@@ -14,6 +14,7 @@ import (
 
 	"pstlbench/internal/core"
 	"pstlbench/internal/native"
+	"pstlbench/internal/pipeline"
 )
 
 // vocabulary skews toward the front, Zipf-style, so the counts are
@@ -53,10 +54,11 @@ func main() {
 	kept = kept[:k]
 	fmt.Printf("tokens: %d total, %d after stop-word filter\n", n, k)
 
-	// Reduce: total character volume (transform_reduce).
-	chars := core.TransformReduce(p, kept, 0,
-		func(a, b int) int { return a + b },
-		func(w string) int { return len(w) })
+	// Reduce: total character volume. MapTo changes element type inside
+	// the pipeline, so the length extraction fuses into the sum — the
+	// lengths are never materialized.
+	chars := pipeline.Sum(p, pipeline.MapTo(pipeline.From(kept),
+		func(w string) int { return len(w) }), 0)
 	fmt.Printf("volume: %d characters, mean word length %.2f\n", chars, float64(chars)/float64(k))
 
 	// Group: sort, then find run boundaries in parallel; the boundary

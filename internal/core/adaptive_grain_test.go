@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pstlbench/internal/exec"
+	"pstlbench/internal/native"
+)
+
+// flipFlopGrains alternates between a coarse and a very fine grain on
+// every Grain() call, simulating an adaptive tuner revising its proposal
+// while an algorithm is mid-call. The multi-phase algorithms (copy-if,
+// the scans, stable partition) derive every phase from ONE decomposition
+// asked for at entry, so per-chunk intermediates must line up even when
+// the source would answer differently between phases — these tests pin
+// that contract at the chunk boundaries where it breaks.
+type flipFlopGrains struct{ calls int }
+
+func (g *flipFlopGrains) Grain(n, workers int) exec.Grain {
+	g.calls++
+	if g.calls%2 == 1 {
+		return exec.Grain{ChunksPerWorker: 1}
+	}
+	return exec.Grain{ChunksPerWorker: 32, MaxChunk: 7}
+}
+
+func flipFlopPolicy(t *testing.T) (Policy, *flipFlopGrains) {
+	t.Helper()
+	pool := native.New(4, native.StrategyStealing)
+	t.Cleanup(pool.Close)
+	src := &flipFlopGrains{}
+	return Par(pool).WithGrainSource(src), src
+}
+
+func TestCopyIfStableUnderShiftingGrains(t *testing.T) {
+	p, gs := flipFlopPolicy(t)
+	rng := rand.New(rand.NewSource(91))
+	even := func(v int) bool { return v%2 == 0 }
+	for rep := 0; rep < 4; rep++ {
+		for _, n := range testSizes {
+			src := randomInts(rng, n, 100)
+			want := []int{}
+			for _, v := range src {
+				if even(v) {
+					want = append(want, v)
+				}
+			}
+			dst := make([]int, n)
+			got := CopyIf(p, dst, src, even)
+			if got != len(want) || !equalSlices(dst[:got], want) {
+				t.Fatalf("rep=%d n=%d: CopyIf under shifting grains: got %d, want %d", rep, n, got, len(want))
+			}
+		}
+	}
+	if gs.calls < 2 {
+		t.Fatalf("grain source consulted %d times, test exercised nothing", gs.calls)
+	}
+}
+
+func TestTransformExclusiveScanStableUnderShiftingGrains(t *testing.T) {
+	p, gs := flipFlopPolicy(t)
+	add := func(a, b float64) float64 { return a + b }
+	square := func(v float64) float64 { return v * v }
+	for rep := 0; rep < 4; rep++ {
+		for _, n := range testSizes {
+			src := iota(n)
+			want := make([]float64, n)
+			acc := 10.0
+			for i, v := range src {
+				want[i] = acc
+				acc += square(v)
+			}
+			dst := make([]float64, n)
+			TransformExclusiveScan(p, dst, src, 10.0, add, square)
+			if !equalSlices(dst, want) {
+				t.Fatalf("rep=%d n=%d: TransformExclusiveScan under shifting grains diverged", rep, n)
+			}
+		}
+	}
+	if gs.calls < 2 {
+		t.Fatalf("grain source consulted %d times, test exercised nothing", gs.calls)
+	}
+}

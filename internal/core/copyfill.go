@@ -11,7 +11,7 @@ func Copy[T any](p Policy, dst, src []T) {
 		copy(dst, src)
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
 }
@@ -49,29 +49,29 @@ func CopyIf[T any](p Policy, dst, src []T, pred func(T) bool) int {
 		}
 		return w
 	}
-	chunks := p.chunks(n)
-	counts := make([]int, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
+	chunks := p.Chunks(n)
+	counts := make([]int, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
 		c := 0
-		for _, v := range src[chunks.at(ci).Lo:chunks.at(ci).Hi] {
+		for _, v := range src[chunks.At(ci).Lo:chunks.At(ci).Hi] {
 			if pred(v) {
 				c++
 			}
 		}
 		counts[ci] = c
 	})
-	offsets := make([]int, chunks.len()+1)
+	offsets := make([]int, chunks.Len()+1)
 	for ci, c := range counts {
 		offsets[ci+1] = offsets[ci] + c
 	}
-	total := offsets[chunks.len()]
+	total := offsets[chunks.Len()]
 	if total > cap(dst) {
 		panic("core.CopyIf: dst capacity too small")
 	}
 	dst = dst[:cap(dst)]
-	p.forEachChunk(chunks, func(ci int) {
+	p.ForEachChunk(chunks, func(ci int) {
 		w := offsets[ci]
-		for _, v := range src[chunks.at(ci).Lo:chunks.at(ci).Hi] {
+		for _, v := range src[chunks.At(ci).Lo:chunks.At(ci).Hi] {
 			if pred(v) {
 				dst[w] = v
 				w++
@@ -137,11 +137,11 @@ func Unique[T comparable](p Policy, s []T) int {
 		return w
 	}
 	keep := func(i int) bool { return i == 0 || s[i] != s[i-1] }
-	chunks := p.chunks(n)
-	counts := make([]int, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
+	chunks := p.Chunks(n)
+	counts := make([]int, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
 		cnt := 0
-		c := chunks.at(ci)
+		c := chunks.At(ci)
 		for i := c.Lo; i < c.Hi; i++ {
 			if keep(i) {
 				cnt++
@@ -149,14 +149,14 @@ func Unique[T comparable](p Policy, s []T) int {
 		}
 		counts[ci] = cnt
 	})
-	offsets := make([]int, chunks.len()+1)
+	offsets := make([]int, chunks.Len()+1)
 	for ci, c := range counts {
 		offsets[ci+1] = offsets[ci] + c
 	}
-	tmp := make([]T, offsets[chunks.len()])
-	p.forEachChunk(chunks, func(ci int) {
+	tmp := make([]T, offsets[chunks.Len()])
+	p.ForEachChunk(chunks, func(ci int) {
 		w := offsets[ci]
-		c := chunks.at(ci)
+		c := chunks.At(ci)
 		for i := c.Lo; i < c.Hi; i++ {
 			if keep(i) {
 				tmp[w] = s[i]

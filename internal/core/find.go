@@ -28,7 +28,7 @@ func findFirstIndex(p Policy, n int, match func(i int) bool) int {
 	}
 	var best atomic.Int64
 	best.Store(int64(n))
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for blockLo := lo; blockLo < hi; blockLo += findBlock {
 			if int64(blockLo) >= best.Load() {
 				return // a better match exists before this chunk

@@ -12,7 +12,7 @@ func ForEach[T any](p Policy, s []T, fn func(*T)) {
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(&s[i])
 		}
@@ -30,7 +30,7 @@ func ForEachIndex[T any](p Policy, s []T, fn func(i int, v *T)) {
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i, &s[i])
 		}

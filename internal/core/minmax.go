@@ -38,10 +38,10 @@ func extremeElement[T any](p Policy, s []T, less func(a, b T) bool, wantMax bool
 	if !p.parallel(n) {
 		return seqScan(0, n)
 	}
-	chunks := p.chunks(n)
-	partial := make([]int, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
-		partial[ci] = seqScan(chunks.at(ci).Lo, chunks.at(ci).Hi)
+	chunks := p.Chunks(n)
+	partial := make([]int, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
+		partial[ci] = seqScan(chunks.At(ci).Lo, chunks.At(ci).Hi)
 	})
 	best := partial[0]
 	for _, idx := range partial[1:] {
@@ -77,10 +77,10 @@ func MinMaxElement[T any](p Policy, s []T, less func(a, b T) bool) (minIdx, maxI
 		r := seqScan(0, n)
 		return r.lo, r.hi
 	}
-	chunks := p.chunks(n)
-	partial := make([]mm, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
-		partial[ci] = seqScan(chunks.at(ci).Lo, chunks.at(ci).Hi)
+	chunks := p.Chunks(n)
+	partial := make([]mm, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
+		partial[ci] = seqScan(chunks.At(ci).Lo, chunks.At(ci).Hi)
 	})
 	best := partial[0]
 	for _, r := range partial[1:] {

@@ -103,6 +103,13 @@ func (p Policy) WithCancel(c *exec.Cancel) Policy {
 // produce incomplete results once this returns true.
 func (p Policy) Canceled() bool { return p.Cancel.Canceled() }
 
+// ShouldParallelize reports whether an input of n elements takes the
+// parallel path under this policy — the same gate every core algorithm
+// applies before dispatching. Exported so layered executors (the fused
+// pipelines of internal/pipeline) make the identical seq-vs-par decision
+// and stay element-wise equivalent to the staged composition.
+func (p Policy) ShouldParallelize(n int) bool { return p.parallel(n) }
+
 // parallel reports whether an input of n elements should take the parallel
 // path under this policy.
 func (p Policy) parallel(n int) bool {
@@ -137,32 +144,34 @@ func (p Policy) grain(n int) exec.Grain {
 	return p.Grain
 }
 
-// chunkSet is an index-addressable view of the chunk decomposition of
+// ChunkSet is an index-addressable view of the chunk decomposition of
 // [0, n) under a policy: chunk ranges are computed on demand from the grain
 // arithmetic (exec.Grain.ChunkAt) instead of materializing a []exec.Range
 // per call, keeping the multi-phase algorithms off the allocator for the
-// decomposition itself.
-type chunkSet struct {
+// decomposition itself. Exported, together with Chunks/ForEachChunk/
+// ParallelFor, as the dispatch surface layered executors build on — the
+// fused pipelines of internal/pipeline compile onto exactly this.
+type ChunkSet struct {
 	grain exec.Grain
 	n     int
 	w     int
 	count int
 }
 
-// len returns the number of chunks in the decomposition.
-func (cs chunkSet) len() int { return cs.count }
+// Len returns the number of chunks in the decomposition.
+func (cs ChunkSet) Len() int { return cs.count }
 
-// at returns chunk ci of the decomposition.
-func (cs chunkSet) at(ci int) exec.Range { return cs.grain.ChunkAt(ci, cs.n, cs.w) }
+// At returns chunk ci of the decomposition.
+func (cs ChunkSet) At(ci int) exec.Range { return cs.grain.ChunkAt(ci, cs.n, cs.w) }
 
-// chunks returns the chunk decomposition of [0, n) under this policy.
+// Chunks returns the chunk decomposition of [0, n) under this policy.
 // All multi-phase algorithms (scan, stable partition, copy-if) derive every
 // phase from the same decomposition so per-chunk intermediate results line
 // up across phases.
-func (p Policy) chunks(n int) chunkSet {
+func (p Policy) Chunks(n int) ChunkSet {
 	w := p.workers()
 	g := p.grain(n)
-	return chunkSet{grain: g, n: n, w: w, count: g.ChunkCount(n, w)}
+	return ChunkSet{grain: g, n: n, w: w, count: g.ChunkCount(n, w)}
 }
 
 // dispatch runs one parallel loop over [0, n) with grain g on the policy's
@@ -188,17 +197,17 @@ func (p Policy) dispatch(n int, g exec.Grain, body func(worker, lo, hi int)) {
 	})
 }
 
-// forChunks runs body over [0, n) under the policy's effective grain — the
+// ParallelFor runs body over [0, n) under the policy's effective grain — the
 // single-phase parallel loop every algorithm without an explicit chunk
 // decomposition uses.
-func (p Policy) forChunks(n int, body func(worker, lo, hi int)) {
+func (p Policy) ParallelFor(n int, body func(worker, lo, hi int)) {
 	p.dispatch(n, p.grain(n), body)
 }
 
-// forEachChunk runs body over the chunk set on the policy's pool. It is
+// ForEachChunk runs body over the chunk set on the policy's pool. It is
 // the building block for the multi-phase algorithms, which need an explicit
-// chunk decomposition rather than ForChunks' implicit partition.
-func (p Policy) forEachChunk(chunks chunkSet, body func(ci int)) {
+// chunk decomposition rather than ParallelFor's implicit partition.
+func (p Policy) ForEachChunk(chunks ChunkSet, body func(ci int)) {
 	p.dispatch(chunks.count, exec.Grain{ChunksPerWorker: 1, MaxChunk: 1}, func(_, lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			body(ci)

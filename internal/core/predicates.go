@@ -36,11 +36,11 @@ func CountIf[T any](p Policy, s []T, pred func(T) bool) int {
 		}
 		return c
 	}
-	chunks := p.chunks(n)
-	partial := make([]int, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
+	chunks := p.Chunks(n)
+	partial := make([]int, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
 		c := 0
-		for _, e := range s[chunks.at(ci).Lo:chunks.at(ci).Hi] {
+		for _, e := range s[chunks.At(ci).Lo:chunks.At(ci).Hi] {
 			if pred(e) {
 				c++
 			}

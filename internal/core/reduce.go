@@ -33,11 +33,11 @@ func TransformReduce[T, U any](p Policy, s []T, init U, op func(a, b U) U, trans
 		}
 		return acc
 	}
-	chunks := p.chunks(n)
-	partial := make([]U, chunks.len())
-	hasVal := make([]bool, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
-		c := chunks.at(ci)
+	chunks := p.Chunks(n)
+	partial := make([]U, chunks.Len())
+	hasVal := make([]bool, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
+		c := chunks.At(ci)
 		if c.Empty() {
 			return
 		}
@@ -72,11 +72,11 @@ func TransformReduceBinary[T, V, U any](p Policy, a []T, b []V, init U, op func(
 		}
 		return acc
 	}
-	chunks := p.chunks(n)
-	partial := make([]U, chunks.len())
-	hasVal := make([]bool, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
-		c := chunks.at(ci)
+	chunks := p.Chunks(n)
+	partial := make([]U, chunks.Len())
+	hasVal := make([]bool, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
+		c := chunks.At(ci)
 		if c.Empty() {
 			return
 		}

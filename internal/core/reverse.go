@@ -12,7 +12,7 @@ func Reverse[T any](p Policy, s []T) {
 		}
 		return
 	}
-	p.forChunks(half, func(_, lo, hi int) {
+	p.ParallelFor(half, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			j := n - 1 - i
 			s[i], s[j] = s[j], s[i]
@@ -33,7 +33,7 @@ func ReverseCopy[T any](p Policy, dst, src []T) {
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[n-1-i] = src[i]
 		}
@@ -53,7 +53,7 @@ func SwapRanges[T any](p Policy, a, b []T) {
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a[i], b[i] = b[i], a[i]
 		}

@@ -40,11 +40,11 @@ func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U
 		}
 		return
 	}
-	chunks := p.chunks(n)
-	sums := make([]U, chunks.len())
+	chunks := p.Chunks(n)
+	sums := make([]U, chunks.Len())
 	// Phase 1: reduce every chunk.
-	p.forEachChunk(chunks, func(ci int) {
-		c := chunks.at(ci)
+	p.ForEachChunk(chunks, func(ci int) {
+		c := chunks.At(ci)
 		acc := transform(src[c.Lo])
 		for i := c.Lo + 1; i < c.Hi; i++ {
 			acc = op(acc, transform(src[i]))
@@ -52,8 +52,8 @@ func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U
 		sums[ci] = acc
 	})
 	// Sequential pass: exclusive prefix of the chunk sums.
-	offsets := make([]U, chunks.len())
-	for ci := 1; ci < chunks.len(); ci++ {
+	offsets := make([]U, chunks.Len())
+	for ci := 1; ci < chunks.Len(); ci++ {
 		if ci == 1 {
 			offsets[1] = sums[0]
 		} else {
@@ -61,8 +61,8 @@ func TransformInclusiveScan[T, U any](p Policy, dst []U, src []T, op func(a, b U
 		}
 	}
 	// Phase 2: rescan every chunk from its offset.
-	p.forEachChunk(chunks, func(ci int) {
-		c := chunks.at(ci)
+	p.ForEachChunk(chunks, func(ci int) {
+		c := chunks.At(ci)
 		var acc U
 		if ci == 0 {
 			acc = transform(src[c.Lo])
@@ -104,23 +104,23 @@ func TransformExclusiveScan[T, U any](p Policy, dst []U, src []T, init U, op fun
 		}
 		return
 	}
-	chunks := p.chunks(n)
-	sums := make([]U, chunks.len())
-	p.forEachChunk(chunks, func(ci int) {
-		c := chunks.at(ci)
+	chunks := p.Chunks(n)
+	sums := make([]U, chunks.Len())
+	p.ForEachChunk(chunks, func(ci int) {
+		c := chunks.At(ci)
 		acc := transform(src[c.Lo])
 		for i := c.Lo + 1; i < c.Hi; i++ {
 			acc = op(acc, transform(src[i]))
 		}
 		sums[ci] = acc
 	})
-	offsets := make([]U, chunks.len())
+	offsets := make([]U, chunks.Len())
 	offsets[0] = init
-	for ci := 1; ci < chunks.len(); ci++ {
+	for ci := 1; ci < chunks.Len(); ci++ {
 		offsets[ci] = op(offsets[ci-1], sums[ci-1])
 	}
-	p.forEachChunk(chunks, func(ci int) {
-		c := chunks.at(ci)
+	p.ForEachChunk(chunks, func(ci int) {
+		c := chunks.At(ci)
 		acc := offsets[ci]
 		for i := c.Lo; i < c.Hi; i++ {
 			next := op(acc, transform(src[i]))
@@ -153,7 +153,7 @@ func AdjacentDifference[T any](p Policy, dst, src []T, op func(cur, prev T) T) {
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		if lo == 0 {
 			dst[0] = src[0]
 			lo = 1

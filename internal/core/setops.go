@@ -24,19 +24,19 @@ func Includes[T any](p Policy, a, b []T, less func(x, y T) bool) bool {
 	// of a bracketing it. Chunks verify independently: multiset
 	// inclusion is NOT chunk-decomposable at equal-run boundaries, so
 	// chunks are extended to cover whole equal-runs of b.
-	chunks := p.chunks(len(b))
-	bounds := make([]int, chunks.len()+1)
-	for ci := 1; ci < chunks.len(); ci++ {
-		lo := chunks.at(ci).Lo
+	chunks := p.Chunks(len(b))
+	bounds := make([]int, chunks.Len()+1)
+	for ci := 1; ci < chunks.Len(); ci++ {
+		lo := chunks.At(ci).Lo
 		// Move the boundary forward past the current equal-run.
 		for lo < len(b) && lo > 0 && !less(b[lo-1], b[lo]) {
 			lo++
 		}
 		bounds[ci] = lo
 	}
-	bounds[chunks.len()] = len(b)
+	bounds[chunks.Len()] = len(b)
 	var failed atomic.Bool
-	p.forEachChunk(chunks, func(ci int) {
+	p.ForEachChunk(chunks, func(ci int) {
 		lo, hi := bounds[ci], bounds[ci+1]
 		if lo >= hi {
 			return

@@ -97,7 +97,7 @@ func parallelMergeSort[T any](p Policy, s, tmp []T, less func(a, b T) bool, dept
 // policy's sequential threshold (the surrounding sort already decided to be
 // parallel).
 func copyChunked[T any](p Policy, dst, src []T) {
-	p.forChunks(len(src), func(_, lo, hi int) {
+	p.ParallelFor(len(src), func(_, lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
 }

@@ -14,7 +14,7 @@ func Transform[T, U any](p Policy, dst []U, src []T, fn func(T) U) {
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = fn(src[i])
 		}
@@ -38,7 +38,7 @@ func TransformBinary[T, V, U any](p Policy, dst []U, a []T, b []V, fn func(T, V)
 		}
 		return
 	}
-	p.forChunks(n, func(_, lo, hi int) {
+	p.ParallelFor(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = fn(a[i], b[i])
 		}

@@ -93,6 +93,7 @@ func Index() []struct {
 		{"ext-numasteal", ExtensionNUMASteal},
 		{"ext-adaptive", ExtensionAdaptive},
 		{"ext-serve", ExtensionServe},
+		{"ext-fusion", ExtensionFusion},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

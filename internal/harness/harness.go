@@ -46,6 +46,7 @@ type State struct {
 	manualSeen  bool
 	bytes       int64
 	items       int64
+	traffic     int64
 	ctr         counters.Set
 	ctrRecorded bool
 	ctrIter     int // iteration of the last RecordCounters call
@@ -202,6 +203,13 @@ func (s *State) SetBytesProcessed(n int64) { s.bytes = n }
 // iterations.
 func (s *State) SetItemsProcessed(n int64) { s.items = n }
 
+// SetTrafficBytes declares the modeled DRAM traffic across all iterations
+// (e.g. from pipeline.ModelTraffic), reported per call as
+// Result.TrafficBytes. Unlike SetBytesProcessed this is a model, not a
+// measurement — it lets reports place predicted memory traffic next to
+// measured time.
+func (s *State) SetTrafficBytes(n int64) { s.traffic = n }
+
 // RecordCounters records the modeled hardware counters of the current
 // iteration, in the style of a Likwid marker region around the timed call.
 // Like SetIterationTime, it may be called at most once per iteration —
@@ -251,6 +259,9 @@ type Result struct {
 	BytesPerSec float64
 	// ItemsPerSec is the throughput if SetItemsProcessed was used.
 	ItemsPerSec float64
+	// TrafficBytes is the modeled DRAM traffic per call, if SetTrafficBytes
+	// was used.
+	TrafficBytes int64
 	// Counters holds accumulated modeled counters, if recorded.
 	Counters    counters.Set
 	HasCounters bool
@@ -423,6 +434,7 @@ func (su *Suite) runOne(b Benchmark, args []int64) Result {
 	total := st.measuredSeconds()
 	if st.target > 0 {
 		res.Seconds = total / float64(st.target)
+		res.TrafficBytes = st.traffic / int64(st.target)
 	}
 	if total > 0 {
 		if st.bytes > 0 {

@@ -130,6 +130,24 @@ func TestBytesAndItemsThroughput(t *testing.T) {
 	}
 }
 
+func TestTrafficBytesPerCall(t *testing.T) {
+	su := &Suite{}
+	su.Register(Benchmark{
+		Name:    "traffic",
+		MinTime: time.Nanosecond,
+		Fn: func(s *State) {
+			for s.Next() {
+				s.SetIterationTime(0.5)
+			}
+			s.SetTrafficBytes(int64(s.Iterations()) * 1234)
+		},
+	})
+	rs := su.Run(nil)
+	if rs[0].TrafficBytes != 1234 {
+		t.Fatalf("TrafficBytes = %v, want per-call 1234", rs[0].TrafficBytes)
+	}
+}
+
 func TestCounterRecording(t *testing.T) {
 	su := &Suite{}
 	su.Register(Benchmark{

@@ -12,7 +12,10 @@
 // the property the ext-serve experiment measures against FIFO.
 package serve
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // Discipline selects the job-level queueing policy.
 type Discipline int
@@ -75,10 +78,25 @@ type FairQueue struct {
 	disc    Discipline
 	cap     int
 	seq     uint64
-	virtual float64            // virtual clock: start time of the last pop
+	virtual float64            // virtual clock: see Pop
 	lanes   map[string]float64 // per-tenant virtual finish of the last push
 	weights map[string]float64
 	h       queueHeap
+
+	// track enables the multi-slot virtual clock (TrackService). With one
+	// concurrency slot the classic SFQ rule — advance the clock to the
+	// start tag of each popped entry — gives the one-residual fairness
+	// bound: a light tenant waits at most one in-flight heavy job. With D
+	// slots that rule lets the clock race ahead through D consecutive pops
+	// while the earliest-tagged job is still in service, so a tenant
+	// arriving mid-burst gets a start tag up to D-1 service quanta in the
+	// future and its earned lane debt is erased. Tracking keeps the clock
+	// at the MINIMUM start tag among in-service entries (the SFQ(D) rule),
+	// restoring the one-residual bound per slot; Done retires an entry
+	// from the in-service set. Off by default so single-slot behavior is
+	// bit-identical to the validated ext-serve model.
+	track     bool
+	inService map[any]float64 // payload value -> virtual start tag
 }
 
 // NewQueue returns an empty queue with the given discipline and capacity
@@ -137,15 +155,92 @@ func (q *FairQueue) Push(it Item) bool {
 }
 
 // Pop dequeues the next item under the discipline; ok=false when empty.
+// Under WFQ the virtual clock advances to the popped entry's start tag —
+// or, with service tracking on, to the minimum start tag still in service,
+// which never exceeds the former (the clock stays monotone either way).
 func (q *FairQueue) Pop() (Item, bool) {
 	if len(q.h) == 0 {
 		return Item{}, false
 	}
 	e := heap.Pop(&q.h).(*queued)
-	if q.disc == WFQ && e.start > q.virtual {
-		q.virtual = e.start
+	if q.disc == WFQ {
+		q.noteService(e)
 	}
 	return e.Item, true
+}
+
+// TrackService switches the WFQ virtual clock to the multi-slot rule (see
+// the FairQueue field docs). The Server enables it when MaxConcurrent > 1;
+// callers that enable it must pair every Pop/TakeMatching dispatch with a
+// Done when the item's service completes.
+func (q *FairQueue) TrackService(on bool) {
+	q.track = on
+	if on && q.inService == nil {
+		q.inService = make(map[any]float64)
+	}
+}
+
+// Done retires a dispatched item's payload value from the in-service set.
+// A no-op when tracking is off or the value is unknown.
+func (q *FairQueue) Done(v any) {
+	if q.track {
+		delete(q.inService, v)
+	}
+}
+
+// noteService folds a dispatched entry into the virtual clock.
+func (q *FairQueue) noteService(e *queued) {
+	if !q.track {
+		if e.start > q.virtual {
+			q.virtual = e.start
+		}
+		return
+	}
+	q.inService[e.Value] = e.start
+	min := e.start
+	for _, st := range q.inService {
+		if st < min {
+			min = st
+		}
+	}
+	if min > q.virtual {
+		q.virtual = min
+	}
+}
+
+// TakeMatching removes and returns up to max queued items satisfying
+// match, in dequeue order — the batched small-job path uses it to coalesce
+// same-tenant small jobs behind the entry Pop just selected. Each taken
+// item counts as dispatched for the fair-queuing clock, exactly as if
+// popped.
+func (q *FairQueue) TakeMatching(max int, match func(it Item) bool) []Item {
+	if max <= 0 || len(q.h) == 0 {
+		return nil
+	}
+	picked := make([]*queued, 0, max)
+	for _, e := range q.h {
+		if match(e.Item) {
+			picked = append(picked, e)
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool {
+		if picked[i].finish != picked[j].finish {
+			return picked[i].finish < picked[j].finish
+		}
+		return picked[i].seq < picked[j].seq
+	})
+	if len(picked) > max {
+		picked = picked[:max]
+	}
+	out := make([]Item, len(picked))
+	for i, e := range picked {
+		heap.Remove(&q.h, e.index)
+		out[i] = e.Item
+		if q.disc == WFQ {
+			q.noteService(e)
+		}
+	}
+	return out
 }
 
 // Remove deletes the first item whose Value matches, returning whether one

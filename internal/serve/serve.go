@@ -41,6 +41,21 @@ type Config struct {
 	// Weights are the per-tenant WFQ weights (default 1 each).
 	Weights map[string]float64
 
+	// SmallJobMax, when positive, enables the batched small-job fast path:
+	// when the next job to run is small (N <= SmallJobMax), up to
+	// BatchMax-1 further queued small jobs from the SAME tenant are
+	// coalesced with it into one pool submission occupying ONE concurrency
+	// slot. Tiny kernels are dominated by per-job admission and dispatch
+	// overhead, not compute (the small-n regime of the paper, where the
+	// GNU runtime goes sequential); batching amortizes that overhead while
+	// each job keeps its own completion, checksum, cancellation token and
+	// deadline. Jobs inside a batch run single-threaded — the batch is the
+	// unit of parallelism. 0 disables batching (the default: single-job
+	// dispatch is the behavior the ext-serve experiment validates).
+	SmallJobMax int
+	// BatchMax caps jobs per batch (default 16).
+	BatchMax int
+
 	// Registry receives one end-to-end Seconds sample per completed job
 	// under region "serve:<tenant>", and per-kernel samples under
 	// "serve:<tenant>/<kernel>" — the per-tenant latency distributions
@@ -156,6 +171,8 @@ type Server struct {
 	tr      *trace.Tracer
 
 	maxConcurrent int
+	smallJobMax   int
+	batchMax      int
 
 	mu      sync.Mutex
 	q       *FairQueue
@@ -166,6 +183,7 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	accepted, rejected, completed, canceled, expired int64
+	batches, batchedJobs                             int64
 	tenants                                          map[string]*tenantCounts
 	// emaRun tracks service time to derive the Retry-After hint.
 	emaRun float64
@@ -209,16 +227,25 @@ func New(cfg Config) *Server {
 	if maxc <= 0 {
 		maxc = 1
 	}
+	batchMax := cfg.BatchMax
+	if batchMax <= 0 {
+		batchMax = 16
+	}
 	q := NewQueue(cfg.Discipline, qcap)
 	for t, w := range cfg.Weights {
 		q.SetWeight(t, w)
 	}
+	// Multi-slot servers use the in-service virtual clock so the WFQ
+	// fairness bound holds per slot (see FairQueue.TrackService).
+	q.TrackService(maxc > 1)
 	s := &Server{
 		pool:          pool,
 		ownPool:       own,
 		reg:           reg,
 		tr:            cfg.Tracer,
 		maxConcurrent: maxc,
+		smallJobMax:   cfg.SmallJobMax,
+		batchMax:      batchMax,
 		q:             q,
 		jobs:          make(map[string]*Job),
 		tenants:       make(map[string]*tenantCounts),
@@ -300,7 +327,11 @@ func (s *Server) tenant(name string) *tenantCounts {
 	return tc
 }
 
-// drainLocked starts queued jobs while concurrency slots are free.
+// drainLocked starts queued jobs while concurrency slots are free. With
+// batching enabled and a small job at the head, further small jobs of the
+// same tenant are coalesced into the same slot (see Config.SmallJobMax);
+// the fair queue charges each of them as dispatched, so tenant accounting
+// is unchanged — the batch only amortizes dispatch overhead.
 func (s *Server) drainLocked() {
 	for !s.closed && s.running < s.maxConcurrent {
 		it, ok := s.q.Pop()
@@ -308,28 +339,39 @@ func (s *Server) drainLocked() {
 			return
 		}
 		j := it.Value.(*Job)
-		j.state = StateRunning
-		j.started = time.Now()
+		batch := []*Job{j}
+		if s.smallJobMax > 0 && j.spec.N <= s.smallJobMax {
+			tenant := j.spec.Tenant
+			for _, bi := range s.q.TakeMatching(s.batchMax-1, func(q Item) bool {
+				return q.Tenant == tenant && q.Value.(*Job).spec.N <= s.smallJobMax
+			}) {
+				batch = append(batch, bi.Value.(*Job))
+			}
+		}
+		now := time.Now()
+		for _, bj := range batch {
+			bj.state = StateRunning
+			bj.started = now
+		}
 		s.running++
 		s.wg.Add(1)
-		go s.run(j)
+		if len(batch) == 1 {
+			go s.run(j)
+		} else {
+			s.batches++
+			s.batchedJobs += int64(len(batch))
+			go s.runBatch(batch)
+		}
 	}
 }
 
-// run executes one job on the shared pool and finalizes it.
-func (s *Server) run(j *Job) {
-	defer s.wg.Done()
-	p := core.Par(s.pool).WithCancel(j.token)
-	var from int64
-	if s.tb != nil {
-		from = s.tr.Now()
-	}
-	sum, ok := runKernel(p, j.spec.Kernel, j.spec.N)
-	now := time.Now()
-
-	s.mu.Lock()
-	j.finished = now
-	s.running--
+// finishJobLocked retires one executed job: records its terminal state,
+// latency samples and counters, stops its deadline timer, releases its
+// fair-queue service slot, and closes its done channel. sum is the kernel
+// checksum; ok=false means the cancellation token fired and the result was
+// discarded.
+func (s *Server) finishJobLocked(j *Job, sum float64, ok bool) {
+	j.finished = time.Now()
 	if ok && !j.token.Canceled() {
 		j.state = StateDone
 		j.checksum = sum
@@ -355,11 +397,69 @@ func (s *Server) run(j *Job) {
 	if j.timer != nil {
 		j.timer.Stop()
 	}
+	s.q.Done(j)
+	close(j.done)
+}
+
+// run executes one job on the shared pool and finalizes it.
+func (s *Server) run(j *Job) {
+	defer s.wg.Done()
+	p := core.Par(s.pool).WithCancel(j.token)
+	var from int64
+	if s.tb != nil {
+		from = s.tr.Now()
+	}
+	sum, ok := runKernel(p, j.spec.Kernel, j.spec.N)
+
+	s.mu.Lock()
+	s.finishJobLocked(j, sum, ok)
+	s.running--
 	if s.tb != nil {
 		s.tb.Span(trace.KindRegion, from, s.tr.Now(),
 			s.tr.Intern("serve:"+j.spec.Tenant+"/"+j.spec.Kernel), j.num)
 	}
-	close(j.done)
+	s.drainLocked()
+	s.mu.Unlock()
+}
+
+// runBatch executes a coalesced set of same-tenant small jobs as ONE pool
+// submission: each job is one task of a single Do call, so the batch pays
+// one dispatch through the concurrency gate instead of len(jobs). Each
+// task runs its kernel single-threaded (small jobs are overhead-bound, not
+// compute-bound; the batch itself is the unit of parallelism) under the
+// job's own cancellation token, and each job is finalized individually as
+// its task completes — per-job completion, checksum, deadline and
+// cancellation semantics are identical to solo dispatch. A job whose token
+// fired before its task starts is finalized canceled without running.
+func (s *Server) runBatch(jobs []*Job) {
+	defer s.wg.Done()
+	var from int64
+	if s.tb != nil {
+		from = s.tr.Now()
+	}
+	tasks := make([]func(), len(jobs))
+	for i, j := range jobs {
+		j := j
+		tasks[i] = func() {
+			var sum float64
+			ok := false
+			if !j.token.Canceled() {
+				p := core.Policy{Cancel: j.token}
+				sum, ok = runKernel(p, j.spec.Kernel, j.spec.N)
+			}
+			s.mu.Lock()
+			s.finishJobLocked(j, sum, ok)
+			s.mu.Unlock()
+		}
+	}
+	s.pool.Do(tasks...)
+
+	s.mu.Lock()
+	s.running--
+	if s.tb != nil {
+		s.tb.Span(trace.KindRegion, from, s.tr.Now(),
+			s.tr.Intern("serve:"+jobs[0].spec.Tenant+"/batch"), int64(len(jobs)))
+	}
 	s.drainLocked()
 	s.mu.Unlock()
 }
@@ -477,16 +577,20 @@ type TenantStats struct {
 
 // Stats is the server-wide snapshot the /stats endpoint serves.
 type Stats struct {
-	Discipline string        `json:"discipline"`
-	Workers    int           `json:"workers"`
-	Queued     int           `json:"queued"`
-	Running    int           `json:"running"`
-	Accepted   int64         `json:"accepted"`
-	Rejected   int64         `json:"rejected"`
-	Completed  int64         `json:"completed"`
-	Canceled   int64         `json:"canceled"`
-	Expired    int64         `json:"expired"`
-	Tenants    []TenantStats `json:"tenants"`
+	Discipline string `json:"discipline"`
+	Workers    int    `json:"workers"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Accepted   int64  `json:"accepted"`
+	Rejected   int64  `json:"rejected"`
+	Completed  int64  `json:"completed"`
+	Canceled   int64  `json:"canceled"`
+	Expired    int64  `json:"expired"`
+	// Batches counts batched small-job dispatches; BatchedJobs the jobs
+	// they carried (0/0 unless Config.SmallJobMax enables batching).
+	Batches     int64         `json:"batches,omitempty"`
+	BatchedJobs int64         `json:"batched_jobs,omitempty"`
+	Tenants     []TenantStats `json:"tenants"`
 }
 
 // Stats returns a consistent snapshot of the server counters and the
@@ -499,15 +603,17 @@ func (s *Server) Stats() Stats {
 	}
 	sort.Strings(names)
 	st := Stats{
-		Discipline: s.q.disc.String(),
-		Workers:    s.pool.Workers(),
-		Queued:     s.q.Len(),
-		Running:    s.running,
-		Accepted:   s.accepted,
-		Rejected:   s.rejected,
-		Completed:  s.completed,
-		Canceled:   s.canceled,
-		Expired:    s.expired,
+		Discipline:  s.q.disc.String(),
+		Workers:     s.pool.Workers(),
+		Queued:      s.q.Len(),
+		Running:     s.running,
+		Accepted:    s.accepted,
+		Rejected:    s.rejected,
+		Completed:   s.completed,
+		Canceled:    s.canceled,
+		Expired:     s.expired,
+		Batches:     s.batches,
+		BatchedJobs: s.batchedJobs,
 	}
 	type pair struct {
 		t  string

@@ -104,9 +104,38 @@ func Run(cfg Config) Result {
 	}
 
 	phases, parallel := skeleton.Build(cfg.Workload, cfg.Backend, cfg.Threads, cfg.Machine)
+	return runPhaseList(cfg, phases, workingSet(cfg.Workload), parallel)
+}
+
+// RunPhases simulates an explicit phase list instead of deriving one from
+// the workload's op — the entry the fused-pipeline model uses, where one
+// invocation's phases (a staged or fused chain from skeleton.
+// StagedChainPhases / FusedChainPhases) are not any single backend.Op.
+// wsBytes is the repeatedly-touched working set that picks the serving
+// memory level; parallel selects cfg.Threads cores versus one. The
+// workload's Op only selects the backend traits (overhead sheet) applied
+// to every phase.
+func RunPhases(cfg Config, phases []skeleton.Phase, wsBytes int64, parallel bool) Result {
+	if cfg.Machine == nil || cfg.Backend == nil {
+		panic("simexec: nil machine or backend")
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Threads > cfg.Machine.Cores {
+		cfg.Threads = cfg.Machine.Cores
+	}
+	if len(phases) == 0 {
+		return Result{}
+	}
+	return runPhaseList(cfg, phases, wsBytes, parallel)
+}
+
+// runPhaseList is the shared engine body: memory level, page placement,
+// and the phase loop.
+func runPhaseList(cfg Config, phases []skeleton.Phase, ws int64, parallel bool) Result {
 	tr := cfg.Backend.Traits(cfg.Workload.Op)
 
-	ws := workingSet(cfg.Workload)
 	coresUsed := cfg.Threads
 	if !parallel {
 		coresUsed = 1

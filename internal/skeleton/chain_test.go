@@ -1,0 +1,115 @@
+package skeleton_test
+
+import (
+	"testing"
+
+	"pstlbench/internal/backend"
+	"pstlbench/internal/machine"
+	"pstlbench/internal/pipeline"
+	"pstlbench/internal/skeleton"
+)
+
+// TestChainBytesMatchPipelineModel pins the two traffic models to each
+// other: skeleton.Chain (which the simulator executes) and
+// pipeline.ModelTraffic (which the runtime library reports) must agree on
+// the per-element staged and fused traffic for every chain shape, or the
+// ext-fusion prediction and the pstlbench traffic columns would drift
+// apart silently.
+func TestChainBytesMatchPipelineModel(t *testing.T) {
+	const n = 1000
+	const elem = 8
+	f := func(v float64) float64 { return v + 1 }
+	for _, gen := range []bool{false, true} {
+		for stages := 0; stages <= 3; stages++ {
+			for _, term := range []string{"reduce", "copy", "scan"} {
+				c := skeleton.Chain{Stages: stages, Terminal: term, Generate: gen}
+				var pl *pipeline.Pipeline[float64]
+				if gen {
+					pl = pipeline.Generate(n, func(i int) float64 { return float64(i) })
+				} else {
+					pl = pipeline.From(make([]float64, n))
+				}
+				for s := 0; s < stages; s++ {
+					pl = pl.Transform(f)
+				}
+				tr := pl.ModelTraffic(elem, term)
+				if got, want := c.StagedBytesPerElem()*n, float64(tr.Staged); got != want {
+					t.Errorf("gen=%v stages=%d %s: skeleton staged %v != pipeline %v",
+						gen, stages, term, got, want)
+				}
+				if got, want := c.FusedBytesPerElem()*n, float64(tr.Fused); got != want {
+					t.Errorf("gen=%v stages=%d %s: skeleton fused %v != pipeline %v",
+						gen, stages, term, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestChainPhasesTrafficConsistent: the phase lists the simulator executes
+// must carry exactly the per-element bytes the closed-form model claims.
+func TestChainPhasesTrafficConsistent(t *testing.T) {
+	m := machine.MachA()
+	b := backend.GCCTBB()
+	w := skeleton.Workload{Op: backend.OpTransform, N: 1 << 22, ElemBytes: 8, Kit: 1}
+	sum := func(phases []skeleton.Phase) float64 {
+		var total float64
+		for _, ph := range phases {
+			for _, task := range ph.Tasks {
+				total += task.Elems * task.BytesPerElem
+			}
+		}
+		return total / float64(w.N)
+	}
+	for _, gen := range []bool{false, true} {
+		for stages := 0; stages <= 3; stages++ {
+			for _, term := range []string{"reduce", "copy", "scan"} {
+				c := skeleton.Chain{Stages: stages, Terminal: term, Generate: gen}
+				st, _ := skeleton.StagedChainPhases(w, c, b, m.Cores, m)
+				fu, _ := skeleton.FusedChainPhases(w, c, b, m.Cores, m)
+				if got, want := sum(st), c.StagedBytesPerElem(); !close(got, want) {
+					t.Errorf("%+v: staged phases carry %v B/elem, model says %v", c, got, want)
+				}
+				if got, want := sum(fu), c.FusedBytesPerElem(); !close(got, want) {
+					t.Errorf("%+v: fused phases carry %v B/elem, model says %v", c, got, want)
+				}
+			}
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestFusedChainPredictsFasterAtBandwidthBoundSize: at a DRAM-resident
+// size the simulated fused chain must beat the staged chain by at least
+// the acceptance bar for the headline 3-stage reduce chain.
+func TestFusedChainPredictsFaster(t *testing.T) {
+	m := machine.MachA()
+	b := backend.GCCTBB()
+	w := skeleton.Workload{Op: backend.OpTransform, N: 1 << 24, ElemBytes: 8, Kit: 1}
+	c := skeleton.Chain{Stages: 2, Terminal: "reduce"}
+	st, sp := skeleton.StagedChainPhases(w, c, b, m.Cores, m)
+	fu, fp := skeleton.FusedChainPhases(w, c, b, m.Cores, m)
+	if !sp || !fp {
+		t.Fatalf("expected parallel execution at n=%d", w.N)
+	}
+	var stagedElems, fusedElems float64
+	for _, ph := range st {
+		for _, task := range ph.Tasks {
+			stagedElems += task.Elems
+		}
+	}
+	for _, ph := range fu {
+		for _, task := range ph.Tasks {
+			fusedElems += task.Elems
+		}
+	}
+	// Staged: 3 passes (2 transforms + reduce) over n; fused: one pass.
+	if stagedElems != 3*float64(w.N) || fusedElems != float64(w.N) {
+		t.Fatalf("staged sweeps %v elems, fused %v; want %v and %v",
+			stagedElems, fusedElems, 3*float64(w.N), float64(w.N))
+	}
+}
