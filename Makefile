@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench fusion serve loadgen check
+.PHONY: all vet build test race bench fusion serve shard loadgen check
 
 all: check
 
@@ -17,10 +17,11 @@ test:
 # the algorithms that drive it, the fused pipelines compiled onto it, the
 # event-tracing layer its workers write to, the simulator that emits
 # virtual-time traces, the adaptive grain tuner fed concurrently by harness
-# observations, and the multi-tenant job server racing batched submits
-# against cancels on one shared pool.
+# observations, the multi-tenant job server racing batched submits against
+# cancels on one shared pool, and the sharded router racing submits and
+# cancels against a mid-backlog kill and log replay.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
@@ -38,6 +39,13 @@ fusion:
 # Run the algorithm-serving daemon on the local pool.
 serve:
 	$(GO) run ./cmd/pstld -addr :8080 -sched wfq
+
+# Sharded serving tier: the 1-vs-4-shard router throughput benchmark, then
+# the full ext-shard report (placement balance, modeled throughput scaling,
+# and the real kill-and-replay durability run).
+shard:
+	$(GO) test -run 'xxx' -bench 'RouterThroughput' -benchtime 200x ./internal/shard/
+	$(GO) run ./cmd/pstlreport -exp ext-shard -scale 4
 
 # Closed-loop load generator: a heavy and a light tenant on one pool;
 # swap -sched fifo to see the light tenant's p99 blow up.

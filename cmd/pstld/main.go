@@ -20,6 +20,14 @@
 //	    -spec "big:1:sort:1048576:4,small:1:reduce:65536:2"
 //
 // The -spec format is tenant:weight:kernel:n:clients, comma-separated.
+//
+// Sharded mode fronts N in-process server shards (each with its own pool)
+// behind a consistent-hash router with load-aware overflow, and -joblog
+// makes the tier restart-safe: a killed daemon replays the log on startup
+// and resumes its queue with no acknowledged job lost and no completed
+// job re-run:
+//
+//	pstld -addr :8080 -shards 4 -workers 2 -joblog /var/run/pstld.jsonl
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"pstlbench/internal/report"
 	"pstlbench/internal/serve"
+	"pstlbench/internal/shard"
 )
 
 func main() {
@@ -50,6 +59,10 @@ func main() {
 		weights  = flag.String("weights", "", "per-tenant WFQ weights, e.g. gold=3,bronze=1")
 		smallMax = flag.Int("small-job-max", 0, "batch same-tenant jobs of n <= this into one pool submission (0 disables)")
 		batchMax = flag.Int("batch-max", 16, "max jobs coalesced into one batched submission")
+		shards   = flag.Int("shards", 1, "server shards behind the consistent-hash router (1 = single server, no router)")
+		joblog   = flag.String("joblog", "", "append-only job log path for restart-safe serving (enables the router)")
+		quota    = flag.Int("quota", 0, "per-tenant queued-job quota (0 disables)")
+		retain   = flag.Int("retain-done", 1024, "terminal job records retained for status queries (-1 = unbounded)")
 		loadgen  = flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving HTTP")
 		duration = flag.Duration("duration", 2*time.Second, "loadgen run time")
 		spec     = flag.String("spec", "big:1:sort:262144:4,small:1:reduce:16384:2",
@@ -70,10 +83,24 @@ func main() {
 		Weights:       parseWeights(*weights),
 		SmallJobMax:   *smallMax,
 		BatchMax:      *batchMax,
+		TenantQuota:   *quota,
+		RetainDone:    *retain,
 	}
 
 	if *loadgen {
 		runLoadgen(cfg, *spec, *duration)
+		return
+	}
+
+	// Sharded mode: a router over N shards, with optional durability. The
+	// single-server path below stays untouched when neither is asked for.
+	if *shards > 1 || *joblog != "" {
+		runRouter(shard.Config{
+			Shards:     *shards,
+			Serve:      cfg,
+			LogPath:    *joblog,
+			RetainDone: *retain,
+		}, *addr, disc)
 		return
 	}
 
@@ -95,6 +122,33 @@ func main() {
 	}
 	<-done
 	s.Close()
+}
+
+// runRouter serves the sharded tier: same HTTP surface as the single
+// server, plus per-shard stats and (with -joblog) crash-safe replay.
+func runRouter(cfg shard.Config, addr string, disc serve.Discipline) {
+	r, err := shard.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: r.Handler()}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "pstld: shutting down")
+		httpSrv.Close()
+		close(done)
+	}()
+	st := r.Stats()
+	fmt.Fprintf(os.Stderr, "pstld: serving on %s (shards=%d workers=%d sched=%s joblog=%q replayed=%d recovered=%d)\n",
+		addr, st.Shards, st.PerShard[0].Workers, disc, cfg.LogPath, st.Replayed, st.Recovered)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("%v", err)
+	}
+	<-done
+	r.Close()
 }
 
 // tenantSpec is one parsed -spec entry.

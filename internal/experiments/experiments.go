@@ -94,6 +94,7 @@ func Index() []struct {
 		{"ext-adaptive", ExtensionAdaptive},
 		{"ext-serve", ExtensionServe},
 		{"ext-fusion", ExtensionFusion},
+		{"ext-shard", ExtensionShard},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

@@ -45,7 +45,7 @@ func TestBatchedDispatchCorrectness(t *testing.T) {
 		if info.State != "done" {
 			t.Fatalf("job %d: state %s (%s), want done", i, info.State, info.Reason)
 		}
-		if want := expectedChecksum("reduce", n); info.Checksum != want {
+		if want := ExpectedChecksum("reduce", n); info.Checksum != want {
 			t.Fatalf("job %d: checksum %v, want %v", i, info.Checksum, want)
 		}
 	}
@@ -123,7 +123,7 @@ func TestBatchedCancelSemantics(t *testing.T) {
 			}
 		} else if info.State != "done" {
 			t.Fatalf("job %d: state %s (%s), want done", i, info.State, info.Reason)
-		} else if want := expectedChecksum("scan", 1<<10); info.Checksum != want {
+		} else if want := ExpectedChecksum("scan", 1<<10); info.Checksum != want {
 			t.Fatalf("job %d: checksum %v, want %v", i, info.Checksum, want)
 		}
 	}
@@ -175,7 +175,7 @@ func TestBatchedSubmitCancelStress(t *testing.T) {
 				}
 				<-j.Done()
 				info := s.Info(j)
-				if info.State == "done" && info.Checksum != expectedChecksum("reduce", n) {
+				if info.State == "done" && info.Checksum != ExpectedChecksum("reduce", n) {
 					torn.Add(1)
 				}
 			}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRetainDoneBoundsJobsMap is the regression test for the unbounded
+// finished-job map: a daemon that has served 10x RetainDone jobs must hold
+// at most RetainDone terminal records, with the oldest evicted first and
+// Get on an evicted ID reporting not-found — the documented
+// QueueCap + MaxConcurrent + RetainDone memory bound.
+func TestRetainDoneBoundsJobsMap(t *testing.T) {
+	const retain = 8
+	s := newTestServer(t, Config{RetainDone: retain, QueueCap: 128})
+	var ids []string
+	for i := 0; i < 10*retain; i++ {
+		j, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 8})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		waitJob(t, j)
+		ids = append(ids, j.ID())
+	}
+	s.mu.Lock()
+	live := len(s.jobs)
+	s.mu.Unlock()
+	if live > retain {
+		t.Fatalf("jobs map holds %d records after %d jobs, want <= %d", live, len(ids), retain)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatalf("oldest job %s still queryable after eviction", ids[0])
+	}
+	if _, ok := s.Get(ids[len(ids)-1]); !ok {
+		t.Fatalf("newest job %s evicted", ids[len(ids)-1])
+	}
+}
+
+// TestRetainDoneNeverEvictsLiveJobs: queued and running jobs stay
+// queryable no matter how many terminal records cycle through the ring.
+func TestRetainDoneNeverEvictsLiveJobs(t *testing.T) {
+	s := newTestServer(t, Config{RetainDone: 1, QueueCap: 16, MaxConcurrent: 1})
+	blocker, err := s.Submit(Spec{Kernel: "sort", N: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(Spec{Kernel: "sort", N: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn terminal records past the ring size via cancellations.
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Cancel(j.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(queued.ID()); !ok {
+		t.Fatal("queued job evicted by terminal churn")
+	}
+	if _, ok := s.Get(blocker.ID()); !ok {
+		t.Fatal("running job evicted by terminal churn")
+	}
+	waitJob(t, blocker)
+	waitJob(t, queued)
+}
+
+// TestCloseDrainsWithoutServiceClockLeak is the regression test for the
+// shutdown leak: under TrackService (MaxConcurrent > 1), draining the
+// queue through Pop inserted every never-run job into the in-service map
+// with no paired Done, and advanced the virtual clock for jobs that never
+// ran. After Close both must be clean.
+func TestCloseDrainsWithoutServiceClockLeak(t *testing.T) {
+	s := New(Config{Workers: 4, MaxConcurrent: 2, QueueCap: 32})
+	for i := 0; i < 12; i++ {
+		if _, err := s.Submit(Spec{Kernel: "sort", N: 1 << 21, Tenant: fmt.Sprintf("t%d", i%3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	virtualBefore := s.q.virtual
+	s.mu.Unlock()
+	s.Close()
+	if n := len(s.q.inService); n != 0 {
+		t.Fatalf("inService holds %d entries after Close, want 0", n)
+	}
+	// Running jobs legitimately advanced the clock before Close was called;
+	// the drained backlog must not have advanced it further: every queued
+	// entry's start tag is >= the pre-Close clock, so any advance here could
+	// only come from billing never-run jobs.
+	if s.q.virtual != virtualBefore {
+		t.Fatalf("virtual clock moved %v -> %v during shutdown drain", virtualBefore, s.q.virtual)
+	}
+}
+
+// TestRetryAfterClamped is the regression test for the uncapped
+// Retry-After hint: with a service-time EMA inflated by one slow job and a
+// deep backlog, the hint must still be clamped to RetryAfterMax.
+func TestRetryAfterClamped(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		max  time.Duration
+		want time.Duration
+	}{
+		{"default", 0, 30 * time.Second},
+		{"custom", 100 * time.Millisecond, 100 * time.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestServer(t, Config{QueueCap: 4, MaxConcurrent: 1, RetryAfterMax: tc.max})
+			// Fill the slot and the queue with slow jobs.
+			for i := 0; i < 5; i++ {
+				if _, err := s.Submit(Spec{Kernel: "sort", N: 1 << 19}); err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+			}
+			// One pathologically slow observed job: an unclamped hint would
+			// quote hours for this backlog.
+			s.mu.Lock()
+			s.emaRun = 3600
+			s.mu.Unlock()
+			_, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 10})
+			var sat *SaturatedError
+			if !errors.As(err, &sat) {
+				t.Fatalf("submit on full queue: %v, want SaturatedError", err)
+			}
+			if sat.RetryAfter <= 0 || sat.RetryAfter > tc.want {
+				t.Fatalf("RetryAfter = %v, want in (0, %v]", sat.RetryAfter, tc.want)
+			}
+		})
+	}
+}
+
+// TestTenantQuota: a tenant at its queued-job quota is rejected while the
+// global queue still has room and other tenants keep flowing.
+func TestTenantQuota(t *testing.T) {
+	s := newTestServer(t, Config{
+		QueueCap:      32,
+		MaxConcurrent: 1,
+		TenantQuota:   2,
+		TenantQuotas:  map[string]int{"vip": 4},
+	})
+	// Blocker occupies the slot so submissions queue.
+	if _, err := s.Submit(Spec{Kernel: "sort", N: 1 << 20, Tenant: "block"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 18, Tenant: "flood"}); err != nil {
+			t.Fatalf("flood submit %d: %v", i, err)
+		}
+	}
+	_, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 18, Tenant: "flood"})
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("over-quota submit: %v, want SaturatedError", err)
+	}
+	// Another tenant is unaffected, and the per-tenant override holds.
+	if _, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 18, Tenant: "calm"}); err != nil {
+		t.Fatalf("calm tenant rejected: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 18, Tenant: "vip"}); err != nil {
+			t.Fatalf("vip submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(Spec{Kernel: "reduce", N: 1 << 18, Tenant: "vip"}); !errors.As(err, &sat) {
+		t.Fatalf("vip over-quota submit: %v, want SaturatedError", err)
+	}
+	if st := s.Stats(); st.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", st.Rejected)
+	}
+}
+
+// TestWithdrawQueued: withdrawn jobs leave the queue, the jobs map, and
+// the tenant counters untouched, carrying reason "migrated" — and the
+// fair-queue state stays clean enough that the server keeps serving.
+func TestWithdrawQueued(t *testing.T) {
+	s := newTestServer(t, Config{QueueCap: 16, MaxConcurrent: 2})
+	blocker, err := s.Submit(Spec{Kernel: "sort", N: 1 << 20, Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(Spec{Kernel: "sort", N: 1 << 20, Tenant: "a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	got := s.WithdrawQueued(2)
+	if len(got) != 2 {
+		t.Fatalf("withdrew %d jobs, want 2", len(got))
+	}
+	for _, j := range got {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("withdrawn job %s not terminal", j.ID())
+		}
+		if info := s.Info(j); info.State != "canceled" || info.Reason != "migrated" {
+			t.Fatalf("withdrawn job %s: %s/%s", j.ID(), info.State, info.Reason)
+		}
+		if _, ok := s.Get(j.ID()); ok {
+			t.Fatalf("withdrawn job %s still in the jobs map", j.ID())
+		}
+		if j.Spec().Kernel != "sort" || j.Spec().Tenant != "a" {
+			t.Fatalf("withdrawn spec %+v", j.Spec())
+		}
+	}
+	st := s.Stats()
+	if st.Withdrawn != 2 {
+		t.Fatalf("withdrawn counter = %d, want 2", st.Withdrawn)
+	}
+	if st.Canceled != 0 {
+		t.Fatalf("withdrawals billed as cancels: canceled = %d", st.Canceled)
+	}
+	waitJob(t, blocker)
+	for _, j := range queued {
+		waitJob(t, j)
+	}
+	if n := len(s.q.inService); n != 0 {
+		t.Fatalf("inService holds %d entries after drain", n)
+	}
+}

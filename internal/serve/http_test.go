@@ -57,7 +57,7 @@ func TestHTTPSubmitStatusLifecycle(t *testing.T) {
 		json.NewDecoder(r.Body).Decode(&got)
 		r.Body.Close()
 		if got.State == "done" {
-			if want := expectedChecksum("reduce", 1<<16); got.Checksum != want {
+			if want := ExpectedChecksum("reduce", 1<<16); got.Checksum != want {
 				t.Fatalf("checksum %v, want %v", got.Checksum, want)
 			}
 			break

@@ -60,10 +60,10 @@ func runKernel(p core.Policy, kernel string, n int) (checksum float64, ok bool) 
 	return checksum, !p.Canceled()
 }
 
-// expectedChecksum returns the reference checksum of a kernel at size n,
+// ExpectedChecksum returns the reference checksum of a kernel at size n,
 // computed sequentially — the validation oracle of the tests and the
 // loadgen.
-func expectedChecksum(kernel string, n int) float64 {
+func ExpectedChecksum(kernel string, n int) float64 {
 	switch kernel {
 	case "foreach":
 		s := 0.0

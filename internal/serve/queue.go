@@ -81,6 +81,7 @@ type FairQueue struct {
 	virtual float64            // virtual clock: see Pop
 	lanes   map[string]float64 // per-tenant virtual finish of the last push
 	weights map[string]float64
+	counts  map[string]int // queued items per tenant (quota enforcement)
 	h       queueHeap
 
 	// track enables the multi-slot virtual clock (TrackService). With one
@@ -107,6 +108,7 @@ func NewQueue(d Discipline, capacity int) *FairQueue {
 		cap:     capacity,
 		lanes:   make(map[string]float64),
 		weights: make(map[string]float64),
+		counts:  make(map[string]int),
 	}
 }
 
@@ -127,6 +129,19 @@ func (q *FairQueue) weight(tenant string) float64 {
 
 // Len returns the number of queued items.
 func (q *FairQueue) Len() int { return len(q.h) }
+
+// TenantLen returns the number of queued items billed to tenant — the
+// quantity per-tenant quotas bound.
+func (q *FairQueue) TenantLen(tenant string) int { return q.counts[tenant] }
+
+// uncount decrements a tenant's queued-item count on any removal path.
+func (q *FairQueue) uncount(tenant string) {
+	if q.counts[tenant] <= 1 {
+		delete(q.counts, tenant)
+	} else {
+		q.counts[tenant]--
+	}
+}
 
 // Push enqueues it; false means the queue is at capacity and the item was
 // rejected (the admission-control signal).
@@ -151,6 +166,7 @@ func (q *FairQueue) Push(it Item) bool {
 		q.lanes[it.Tenant] = e.finish
 	}
 	heap.Push(&q.h, e)
+	q.counts[it.Tenant]++
 	return true
 }
 
@@ -163,6 +179,7 @@ func (q *FairQueue) Pop() (Item, bool) {
 		return Item{}, false
 	}
 	e := heap.Pop(&q.h).(*queued)
+	q.uncount(e.Tenant)
 	if q.disc == WFQ {
 		q.noteService(e)
 	}
@@ -235,11 +252,58 @@ func (q *FairQueue) TakeMatching(max int, match func(it Item) bool) []Item {
 	out := make([]Item, len(picked))
 	for i, e := range picked {
 		heap.Remove(&q.h, e.index)
+		q.uncount(e.Tenant)
 		out[i] = e.Item
 		if q.disc == WFQ {
 			q.noteService(e)
 		}
 	}
+	return out
+}
+
+// TakeBack removes and returns up to max items from the BACK of the
+// dispatch order — the largest virtual finish times, the jobs least likely
+// to run soon — without touching the virtual clock or the in-service set:
+// the items are leaving this queue, not being dispatched by it. The shard
+// router migrates these to a less-loaded shard.
+func (q *FairQueue) TakeBack(max int) []Item {
+	if max <= 0 || len(q.h) == 0 {
+		return nil
+	}
+	picked := make([]*queued, len(q.h))
+	copy(picked, q.h)
+	sort.Slice(picked, func(i, j int) bool {
+		if picked[i].finish != picked[j].finish {
+			return picked[i].finish > picked[j].finish
+		}
+		return picked[i].seq > picked[j].seq
+	})
+	if len(picked) > max {
+		picked = picked[:max]
+	}
+	out := make([]Item, len(picked))
+	for i, e := range picked {
+		heap.Remove(&q.h, e.index)
+		q.uncount(e.Tenant)
+		out[i] = e.Item
+	}
+	return out
+}
+
+// DrainAll empties the queue and returns every item in no particular
+// order, WITHOUT advancing the virtual clock or registering anything in
+// the in-service set — drained items are being discarded (shutdown), not
+// dispatched. Using Pop for this leaks inService entries under
+// TrackService (no paired Done ever comes) and mutates the clock for jobs
+// that never run.
+func (q *FairQueue) DrainAll() []Item {
+	out := make([]Item, len(q.h))
+	for i, e := range q.h {
+		out[i] = e.Item
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+	q.counts = make(map[string]int)
 	return out
 }
 
@@ -249,6 +313,7 @@ func (q *FairQueue) Remove(match func(v any) bool) bool {
 	for _, e := range q.h {
 		if match(e.Value) {
 			heap.Remove(&q.h, e.index)
+			q.uncount(e.Tenant)
 			return true
 		}
 	}

@@ -41,6 +41,27 @@ type Config struct {
 	// Weights are the per-tenant WFQ weights (default 1 each).
 	Weights map[string]float64
 
+	// TenantQuota bounds the queued jobs of any single tenant (0 disables):
+	// a tenant at its quota is rejected with a SaturatedError even while the
+	// global queue has room, so one flooding tenant cannot consume the whole
+	// admission budget. TenantQuotas overrides the bound per tenant.
+	TenantQuota  int
+	TenantQuotas map[string]int
+
+	// RetainDone bounds how many terminal (done/canceled) job records the
+	// server keeps for status queries; older ones are evicted oldest-first
+	// and Get on an evicted ID reports not-found. Default 1024; -1 retains
+	// everything (the pre-bound behavior — unbounded memory in a daemon).
+	// Queued and running jobs are never evicted, so the documented memory
+	// bound QueueCap + MaxConcurrent + RetainDone job records holds.
+	RetainDone int
+
+	// RetryAfterMax caps the Retry-After backpressure hint (default 30s).
+	// The hint is backlog x observed service time, so one slow job through
+	// the EMA can otherwise quote minutes — and loadgen clients that honor
+	// the hint would never come back.
+	RetryAfterMax time.Duration
+
 	// SmallJobMax, when positive, enables the batched small-job fast path:
 	// when the next job to run is small (N <= SmallJobMax), up to
 	// BatchMax-1 further queued small jobs from the SAME tenant are
@@ -141,6 +162,10 @@ type Job struct {
 // ID returns the job's server-assigned identifier.
 func (j *Job) ID() string { return j.id }
 
+// Spec returns the job's submission spec — what a shard router needs to
+// resubmit a withdrawn job elsewhere.
+func (j *Job) Spec() Spec { return j.spec }
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -173,6 +198,10 @@ type Server struct {
 	maxConcurrent int
 	smallJobMax   int
 	batchMax      int
+	retainDone    int
+	retryMax      time.Duration
+	quota         int
+	quotas        map[string]int
 
 	mu      sync.Mutex
 	q       *FairQueue
@@ -182,11 +211,18 @@ type Server struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	// doneOrder is the eviction ring over terminal job IDs: oldest-first,
+	// bounded at retainDone (see Config.RetainDone).
+	doneOrder []string
+
 	accepted, rejected, completed, canceled, expired int64
-	batches, batchedJobs                             int64
+	batches, batchedJobs, withdrawn                  int64
 	tenants                                          map[string]*tenantCounts
 	// emaRun tracks service time to derive the Retry-After hint.
 	emaRun float64
+	// emaAdm tracks queue occupancy at admission time — the saturation
+	// signal the shard router's load-aware placement reads (see Load).
+	emaAdm float64
 }
 
 type tenantCounts struct {
@@ -231,6 +267,14 @@ func New(cfg Config) *Server {
 	if batchMax <= 0 {
 		batchMax = 16
 	}
+	retain := cfg.RetainDone
+	if retain == 0 {
+		retain = 1024
+	}
+	retryMax := cfg.RetryAfterMax
+	if retryMax <= 0 {
+		retryMax = 30 * time.Second
+	}
 	q := NewQueue(cfg.Discipline, qcap)
 	for t, w := range cfg.Weights {
 		q.SetWeight(t, w)
@@ -246,6 +290,10 @@ func New(cfg Config) *Server {
 		maxConcurrent: maxc,
 		smallJobMax:   cfg.SmallJobMax,
 		batchMax:      batchMax,
+		retainDone:    retain,
+		retryMax:      retryMax,
+		quota:         cfg.TenantQuota,
+		quotas:        cfg.TenantQuotas,
 		q:             q,
 		jobs:          make(map[string]*Job),
 		tenants:       make(map[string]*tenantCounts),
@@ -258,6 +306,16 @@ func New(cfg Config) *Server {
 
 // Registry returns the registry holding the per-tenant latency regions.
 func (s *Server) Registry() *counters.Registry { return s.reg }
+
+// Queued returns the number of jobs waiting in the admission queue.
+func (s *Server) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Len()
+}
+
+// QueueCap returns the admission queue bound.
+func (s *Server) QueueCap() int { return s.q.cap }
 
 // Submit admits a job. It returns a *SaturatedError when the queue is at
 // capacity (carrying a Retry-After hint), ErrClosed after Close, and a
@@ -276,6 +334,16 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	s.noteAdmissionLocked()
+	// Per-tenant quota: a flooding tenant is bounded before it can consume
+	// the shared admission budget.
+	if quota := s.quotaFor(spec.Tenant); quota > 0 && s.q.TenantLen(spec.Tenant) >= quota {
+		s.rejected++
+		s.tenant(spec.Tenant).rejected++
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		return nil, &SaturatedError{RetryAfter: retry}
 	}
 	s.nextID++
 	j := &Job{
@@ -305,7 +373,9 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 }
 
 // retryAfterLocked estimates when a queue slot will free: the backlog
-// drained at the observed per-job service time.
+// drained at the observed per-job service time, clamped to RetryAfterMax —
+// one slow job through the EMA must not quote an hours-long hint that an
+// obedient client would honor and never return from.
 func (s *Server) retryAfterLocked() time.Duration {
 	per := s.emaRun
 	if per <= 0 {
@@ -315,7 +385,39 @@ func (s *Server) retryAfterLocked() time.Duration {
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}
+	if d > s.retryMax {
+		d = s.retryMax
+	}
 	return d
+}
+
+// quotaFor returns tenant's queued-job quota (0 = unbounded).
+func (s *Server) quotaFor(tenant string) int {
+	if q, ok := s.quotas[tenant]; ok {
+		return q
+	}
+	return s.quota
+}
+
+// noteAdmissionLocked folds the instantaneous queue occupancy into the
+// admission EMA at each submission.
+func (s *Server) noteAdmissionLocked() {
+	occ := float64(s.q.Len()) / float64(s.q.cap)
+	s.emaAdm = 0.6*s.emaAdm + 0.4*occ
+}
+
+// Load reports the shard's admission pressure in [0, ~1]: the larger of
+// the admission-time occupancy EMA and the instantaneous queue occupancy.
+// The shard router spills new jobs away from a home shard whose Load is
+// saturated and migrates queued jobs off one that stays saturated.
+func (s *Server) Load() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	occ := float64(s.q.Len()) / float64(s.q.cap)
+	if occ > s.emaAdm {
+		return occ
+	}
+	return s.emaAdm
 }
 
 func (s *Server) tenant(name string) *tenantCounts {
@@ -399,6 +501,22 @@ func (s *Server) finishJobLocked(j *Job, sum float64, ok bool) {
 	}
 	s.q.Done(j)
 	close(j.done)
+	s.retireLocked(j)
+}
+
+// retireLocked enters a terminal job into the bounded retention ring,
+// evicting the oldest terminal records beyond RetainDone so the jobs map
+// honors the documented QueueCap + MaxConcurrent + RetainDone bound.
+// Queued and running jobs never enter the ring, so they are never evicted.
+func (s *Server) retireLocked(j *Job) {
+	if s.retainDone < 0 {
+		return
+	}
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.retainDone {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
 }
 
 // run executes one job on the shared pool and finalizes it.
@@ -492,6 +610,35 @@ func (s *Server) finishCanceledLocked(j *Job, reason string) {
 	s.canceled++
 	s.tenant(j.spec.Tenant).canceled++
 	close(j.done)
+	s.retireLocked(j)
+}
+
+// WithdrawQueued removes up to max still-queued jobs from the BACK of the
+// dispatch order (largest virtual finish — the jobs least likely to run
+// soon) and finalizes each as canceled with reason "migrated", without
+// billing the WFQ clock, the in-service set, or the tenant cancel
+// counters: the jobs are moving to another shard, not dying. The caller
+// resubmits each job's Spec elsewhere; the withdrawn records leave this
+// server's jobs map entirely.
+func (s *Server) WithdrawQueued(max int) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := s.q.TakeBack(max)
+	jobs := make([]*Job, len(items))
+	for i, it := range items {
+		j := it.Value.(*Job)
+		j.state = StateCanceled
+		j.reason = "migrated"
+		j.finished = time.Now()
+		if j.timer != nil {
+			j.timer.Stop()
+		}
+		s.withdrawn++
+		delete(s.jobs, j.id)
+		close(j.done)
+		jobs[i] = j
+	}
+	return jobs
 }
 
 // Cancel cancels a job by ID: a queued job is withdrawn immediately, a
@@ -588,9 +735,13 @@ type Stats struct {
 	Expired    int64  `json:"expired"`
 	// Batches counts batched small-job dispatches; BatchedJobs the jobs
 	// they carried (0/0 unless Config.SmallJobMax enables batching).
-	Batches     int64         `json:"batches,omitempty"`
-	BatchedJobs int64         `json:"batched_jobs,omitempty"`
-	Tenants     []TenantStats `json:"tenants"`
+	Batches     int64 `json:"batches,omitempty"`
+	BatchedJobs int64 `json:"batched_jobs,omitempty"`
+	// Withdrawn counts queued jobs a shard router migrated away.
+	Withdrawn int64 `json:"withdrawn,omitempty"`
+	// Load is the admission-pressure signal (see Server.Load).
+	Load    float64       `json:"load"`
+	Tenants []TenantStats `json:"tenants"`
 }
 
 // Stats returns a consistent snapshot of the server counters and the
@@ -614,6 +765,12 @@ func (s *Server) Stats() Stats {
 		Expired:     s.expired,
 		Batches:     s.batches,
 		BatchedJobs: s.batchedJobs,
+		Withdrawn:   s.withdrawn,
+	}
+	occ := float64(s.q.Len()) / float64(s.q.cap)
+	st.Load = s.emaAdm
+	if occ > st.Load {
+		st.Load = occ
 	}
 	type pair struct {
 		t  string
@@ -653,11 +810,11 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	for {
-		it, ok := s.q.Pop()
-		if !ok {
-			break
-		}
+	// DrainAll, not a Pop loop: popping bills the WFQ virtual clock for
+	// jobs that will never run and — under TrackService — inserts each into
+	// the in-service set with no Done ever coming, leaking one map entry
+	// per drained job.
+	for _, it := range s.q.DrainAll() {
 		s.finishCanceledLocked(it.Value.(*Job), "shutdown")
 	}
 	for _, j := range s.jobs {

@@ -41,7 +41,7 @@ func TestSubmitRunsEveryKernel(t *testing.T) {
 		if info.State != "done" {
 			t.Fatalf("%s: state %s (%s), want done", k, info.State, info.Reason)
 		}
-		if want := expectedChecksum(k, n); info.Checksum != want {
+		if want := ExpectedChecksum(k, n); info.Checksum != want {
 			t.Fatalf("%s: checksum %v, want %v", k, info.Checksum, want)
 		}
 	}

@@ -55,10 +55,10 @@ func TestConcurrentSubmitCancelStress(t *testing.T) {
 				switch info.State {
 				case "done":
 					completed.Add(1)
-					if info.Checksum != expectedChecksum(k, n) {
+					if info.Checksum != ExpectedChecksum(k, n) {
 						torn.Add(1)
 						t.Errorf("torn result escaped: %s n=%d checksum=%v want=%v",
-							k, n, info.Checksum, expectedChecksum(k, n))
+							k, n, info.Checksum, ExpectedChecksum(k, n))
 					}
 				case "canceled":
 					canceled.Add(1)

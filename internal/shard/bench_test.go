@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pstlbench/internal/serve"
+)
+
+// BenchmarkRouterThroughput measures closed-loop job throughput through
+// the router at 1 vs 4 shards. Each shard owns one worker and one run
+// slot, so the shard count is the service parallelism; ns/op is the
+// per-job latency seen by 8 concurrent clients and should drop roughly
+// linearly with shards until job granularity dominates (the ext-shard
+// experiment explores the same axis with controlled service times).
+func BenchmarkRouterThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r, err := New(Config{
+				Shards: shards,
+				Serve:  serve.Config{Workers: 1, QueueCap: 512, MaxConcurrent: 1},
+			})
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			defer r.Close()
+			var tenantSeq atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tenant := fmt.Sprintf("tenant-%d", tenantSeq.Add(1))
+				for pb.Next() {
+					j, err := r.Submit(serve.Spec{Kernel: "reduce", N: 1 << 12, Tenant: tenant})
+					if err != nil {
+						continue // saturated under heavy b.N; closed-loop retries next iter
+					}
+					<-j.Done()
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pstlbench/internal/serve"
+)
+
+// errorBody mirrors serve's JSON error envelope.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Handler returns the router's HTTP API — the same surface as a single
+// serve.Server, with shard placement visible in every JobInfo and a
+// per-shard breakdown in /stats:
+//
+//	POST   /jobs      submit a job   -> 202 JobInfo | 429 (saturated) | 400
+//	GET    /jobs/{id} job status     -> 200 JobInfo | 404
+//	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
+//	GET    /stats     router stats   -> 200 Stats
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", r.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", r.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", r.handleCancel)
+	mux.HandleFunc("GET /stats", r.handleStats)
+	return mux
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var body serve.SubmitRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	j, err := r.Submit(serve.Spec{
+		Kernel:   body.Kernel,
+		N:        body.N,
+		Tenant:   body.Tenant,
+		Deadline: time.Duration(body.DeadlineMS) * time.Millisecond,
+	})
+	if err != nil {
+		var sat *serve.SaturatedError
+		switch {
+		case errors.As(err, &sat):
+			secs := int64((sat.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{
+				Error:        err.Error(),
+				RetryAfterMS: sat.RetryAfter.Milliseconds(),
+			})
+		case errors.Is(err, serve.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	info, _ := r.Get(j.ID())
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (r *Router) handleGet(w http.ResponseWriter, req *http.Request) {
+	info, ok := r.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
+	info, err := r.Cancel(req.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

@@ -1,0 +1,86 @@
+// Package shard is the horizontal scaling layer over internal/serve: a
+// Router fronts N in-process serve.Server shards, each with its own
+// work-stealing pool, and places jobs by consistent-hash tenant->shard
+// assignment with load-aware overflow. The layering repeats the paper's
+// scheduling story one level up: the pool's deques balance *chunks* of a
+// job across workers, the fair queue balances *jobs* across tenants, and
+// the router balances *tenants* across shards — with spill-on-saturation
+// and cross-shard migration of queued jobs as the distributed analogue of
+// deque stealing (HPX's locality-aware task placement is the reference
+// shape). An optional append-only job log makes the tier restart-safe: a
+// killed daemon replays the log on startup and resumes its queue with no
+// acknowledged job lost and no completed job re-run.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping tenant names to shard indices.
+// Each shard owns Replicas virtual points on a uint64 ring; a tenant maps
+// to the shard owning the first point at or after the tenant's hash.
+// Virtual points keep per-shard load shares near 1/N, and changing the
+// shard count remaps only the tenants whose nearest point changed —
+// roughly a 1/(N+1) fraction — so scaling the tier does not reshuffle
+// every tenant's home (the property TestRingStability pins).
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over shards shards with replicas virtual points
+// each (replicas <= 0 selects the default 64).
+func NewRing(shards, replicas int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d/%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns tenant's home shard: the owner of the first ring point
+// clockwise from the tenant's hash.
+func (r *Ring) Shard(tenant string) int {
+	h := hash64(tenant)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a with a murmur-style avalanche finalizer. Raw FNV of
+// short near-identical strings ("shard-2/17", "tenant-413") clusters in
+// the upper bits, which on a ring means one shard's points can capture
+// most of the keyspace; the final mix spreads every input bit across the
+// whole word so arc lengths come out near-uniform.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

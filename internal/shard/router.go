@@ -1,0 +1,674 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pstlbench/internal/serve"
+)
+
+// Config configures a Router. The zero value runs one shard with a
+// defaulted serve.Config and no durability.
+type Config struct {
+	// Shards is the number of in-process serve.Server shards (default 1).
+	Shards int
+	// Serve is the per-shard template. Pool must be nil: every shard owns
+	// its own pool (Workers workers each), so one shard's load never
+	// steals another shard's cores through a shared substrate.
+	Serve serve.Config
+	// Replicas is the ring's virtual points per shard (default 64).
+	Replicas int
+
+	// LogPath enables the append-only job log; "" runs without durability.
+	// FsyncEvery/FsyncInterval bound the group-commit batch (defaults 32
+	// records / 5ms; see Log).
+	LogPath       string
+	FsyncEvery    int
+	FsyncInterval time.Duration
+
+	// SpillThreshold is the home-shard Load above which a new job spills to
+	// the least-loaded shard instead (default 0.75) — admission-time
+	// overflow, the cheap half of load balancing.
+	SpillThreshold float64
+	// MigrateThreshold is the sustained Load above which the rebalancer
+	// withdraws queued jobs from the hottest shard and resubmits them on
+	// the coldest (default 0.9), provided the coldest sits below half the
+	// hottest's load — the expensive half, for jobs that already queued
+	// before the imbalance showed.
+	MigrateThreshold float64
+	// MigrateBatch caps jobs moved per rebalance pass (default 4).
+	MigrateBatch int
+	// RebalanceEvery is the rebalancer cadence (default 25ms; < 0 disables
+	// the background loop — tests drive Rebalance directly).
+	RebalanceEvery time.Duration
+
+	// RetainDone bounds the router's terminal job records, like
+	// serve.Config.RetainDone (default 1024; -1 unbounded). Replay loads at
+	// most this many recovered terminal records.
+	RetainDone int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.SpillThreshold <= 0 {
+		c.SpillThreshold = 0.75
+	}
+	if c.MigrateThreshold <= 0 {
+		c.MigrateThreshold = 0.9
+	}
+	if c.MigrateBatch <= 0 {
+		c.MigrateBatch = 4
+	}
+	if c.RebalanceEvery == 0 {
+		c.RebalanceEvery = 25 * time.Millisecond
+	}
+	if c.RetainDone == 0 {
+		c.RetainDone = 1024
+	}
+	return c
+}
+
+// Job is the router-side handle of one submission. The router owns job
+// identity: shard-level jobs are an implementation detail that can change
+// under migration or replay while the router ID stays fixed.
+type Job struct {
+	id   string
+	seq  int64
+	spec serve.Spec
+	enq  time.Time
+
+	// Guarded by the router lock:
+	shard    int        // current shard, -1 while parked in the backlog
+	sj       *serve.Job // current shard-level incarnation, nil in backlog
+	terminal bool
+	info     JobInfo // terminal snapshot
+	done     chan struct{}
+}
+
+// ID returns the router-assigned job identifier (stable across restarts).
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job is terminal at the router.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobInfo is a serve.JobInfo plus the shard that holds (or held) the job;
+// Shard is -1 for jobs parked in the replay backlog or recovered from the
+// log, where the original placement is unknown and irrelevant.
+type JobInfo struct {
+	serve.JobInfo
+	Shard int `json:"shard"`
+}
+
+// Router fronts N in-process shards: consistent-hash placement with
+// load-aware spill, cross-shard migration of queued jobs, and (with a job
+// log) crash-safe replay. All client traffic goes through the router; it
+// is the only submitter to its shards, which is what makes the
+// withdraw-and-resubmit migration race-free.
+type Router struct {
+	cfg    Config
+	shards []*serve.Server
+	ring   *Ring
+	log    *Log
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byShard  map[*serve.Job]*Job
+	backlog  []*Job // replayed jobs awaiting shard admission
+	doneRing []string
+	nextID   int64
+	closed   bool
+
+	accepted, rejected, completed, canceled int64
+	spills, migrations, replayed, recovered int64
+
+	stop    chan struct{}
+	loopWG  sync.WaitGroup
+	watchWG sync.WaitGroup
+}
+
+// New builds the shard tier: cfg.Shards servers on their own pools, the
+// placement ring, and — when cfg.LogPath is set — the job log, replaying
+// any records a previous incarnation left behind before accepting traffic.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Serve.Pool != nil {
+		return nil, errors.New("shard: Config.Serve.Pool must be nil; each shard owns its pool")
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Shards, cfg.Replicas),
+		jobs:    make(map[string]*Job),
+		byShard: make(map[*serve.Job]*Job),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		r.shards = append(r.shards, serve.New(cfg.Serve))
+	}
+	if cfg.LogPath != "" {
+		log, recs, err := OpenLog(cfg.LogPath, cfg.FsyncEvery, cfg.FsyncInterval)
+		if err != nil {
+			for _, s := range r.shards {
+				s.Close()
+			}
+			return nil, err
+		}
+		r.log = log
+		r.mu.Lock()
+		r.replayLocked(recs)
+		r.mu.Unlock()
+	}
+	if cfg.RebalanceEvery > 0 {
+		r.loopWG.Add(1)
+		go r.rebalanceLoop(cfg.RebalanceEvery)
+	}
+	return r, nil
+}
+
+// Shard returns shard i's server — the per-shard stats and registry hook.
+func (r *Router) Shard(i int) *serve.Server { return r.shards[i] }
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Submit admits a job through consistent-hash placement with load-aware
+// overflow. Error contract matches serve.Server.Submit.
+func (r *Router) Submit(spec serve.Spec) (*Job, error) {
+	if !serve.KernelValid(spec.Kernel) {
+		return nil, fmt.Errorf("shard: unknown kernel %q", spec.Kernel)
+	}
+	if spec.N < 1 {
+		return nil, fmt.Errorf("shard: job size %d, want >= 1", spec.N)
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, serve.ErrClosed
+	}
+	r.nextID++
+	j := &Job{
+		id:   fmt.Sprintf("job-%d", r.nextID),
+		seq:  r.nextID,
+		spec: spec,
+		enq:  time.Now(),
+		done: make(chan struct{}),
+	}
+	if err := r.placeLocked(j); err != nil {
+		r.rejected++
+		return nil, err
+	}
+	// Logged only after a shard accepted: every acknowledged job is in the
+	// log, and nothing the client never heard of is.
+	r.appendLocked(Record{
+		T: "submit", ID: j.id, Seq: j.seq,
+		Kernel: spec.Kernel, N: spec.N, Tenant: spec.Tenant,
+		DeadlineMS: int64(spec.Deadline / time.Millisecond),
+	})
+	r.jobs[j.id] = j
+	r.accepted++
+	r.watchLocked(j)
+	return j, nil
+}
+
+// placeLocked picks a shard and submits j: the consistent-hash home
+// first, spilled to the least-loaded shard when the home's admission EMA
+// saturates, with one more attempt on the least-loaded shard when the
+// first choice rejects outright.
+func (r *Router) placeLocked(j *Job) error {
+	home := r.ring.Shard(j.spec.Tenant)
+	target := home
+	if r.shards[home].Load() >= r.cfg.SpillThreshold {
+		if ll := r.leastLoadedLocked(); ll != home {
+			target = ll
+		}
+	}
+	sj, err := r.shards[target].Submit(j.spec)
+	if err != nil {
+		var sat *serve.SaturatedError
+		if !errors.As(err, &sat) {
+			return err
+		}
+		alt := r.leastLoadedLocked()
+		if alt == target {
+			return err
+		}
+		if sj, err = r.shards[alt].Submit(j.spec); err != nil {
+			return err
+		}
+		target = alt
+	}
+	if target != home {
+		r.spills++
+	}
+	j.shard = target
+	j.sj = sj
+	r.byShard[sj] = j
+	return nil
+}
+
+func (r *Router) leastLoadedLocked() int {
+	best, bestL := 0, r.shards[0].Load()
+	for i := 1; i < len(r.shards); i++ {
+		if l := r.shards[i].Load(); l < bestL {
+			best, bestL = i, l
+		}
+	}
+	return best
+}
+
+// watchLocked spawns the completion watcher for j's current shard-level
+// incarnation. A migrated job gets a new watcher; the old one recognizes
+// the swap and stands down.
+func (r *Router) watchLocked(j *Job) {
+	r.watchWG.Add(1)
+	go r.watch(j, j.sj, j.shard)
+}
+
+func (r *Router) watch(j *Job, sj *serve.Job, shard int) {
+	defer r.watchWG.Done()
+	<-sj.Done()
+	info := r.shards[shard].Info(sj)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j.sj != sj {
+		return // migrated: a newer incarnation owns this job now
+	}
+	delete(r.byShard, sj)
+	info.ID = j.id
+	j.terminal = true
+	j.info = JobInfo{JobInfo: info, Shard: shard}
+	switch {
+	case info.State == "done":
+		r.completed++
+		r.appendLocked(Record{T: "complete", ID: j.id, State: "done", Checksum: info.Checksum})
+	case info.Reason == "shutdown":
+		// Crash-consistent shutdown: no record, so the job replays as
+		// pending on the next start instead of dying with the process.
+		r.canceled++
+	default:
+		r.canceled++
+		r.appendLocked(Record{T: "complete", ID: j.id, State: "canceled", Reason: info.Reason})
+	}
+	close(j.done)
+	r.retireLocked(j)
+}
+
+// appendLocked writes a log record; a nil (disabled) or severed (killed)
+// log is a no-op — in-memory serving continues either way.
+func (r *Router) appendLocked(rec Record) {
+	if r.log != nil {
+		r.log.Append(rec)
+	}
+}
+
+// retireLocked bounds the terminal records like serve.Server.retireLocked.
+func (r *Router) retireLocked(j *Job) {
+	if r.cfg.RetainDone < 0 {
+		return
+	}
+	r.doneRing = append(r.doneRing, j.id)
+	for len(r.doneRing) > r.cfg.RetainDone {
+		delete(r.jobs, r.doneRing[0])
+		r.doneRing = r.doneRing[1:]
+	}
+}
+
+// Get returns a job snapshot by router ID.
+func (r *Router) Get(id string) (JobInfo, bool) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil {
+		r.mu.Unlock()
+		return JobInfo{}, false
+	}
+	if j.terminal {
+		info := j.info
+		r.mu.Unlock()
+		return info, true
+	}
+	if j.sj == nil {
+		info := JobInfo{JobInfo: serve.JobInfo{
+			ID: j.id, Kernel: j.spec.Kernel, N: j.spec.N, Tenant: j.spec.Tenant,
+			State: "queued", QueueSeconds: time.Since(j.enq).Seconds(),
+		}, Shard: -1}
+		r.mu.Unlock()
+		return info, true
+	}
+	sj, shard := j.sj, j.shard
+	r.mu.Unlock()
+	info := r.shards[shard].Info(sj)
+	info.ID = id
+	return JobInfo{JobInfo: info, Shard: shard}, true
+}
+
+// Cancel cancels a job by router ID, logging the intent before acting so
+// a crash between the ack and the completion record still replays the job
+// as canceled, never as runnable.
+func (r *Router) Cancel(id string) (JobInfo, error) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil {
+		r.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("shard: no job %q", id)
+	}
+	if j.terminal {
+		info := j.info
+		r.mu.Unlock()
+		return info, nil
+	}
+	if j.sj == nil {
+		// Backlog job: never reached a shard, finalize right here.
+		r.dropBacklogLocked(j)
+		j.terminal = true
+		j.info = JobInfo{JobInfo: serve.JobInfo{
+			ID: j.id, Kernel: j.spec.Kernel, N: j.spec.N, Tenant: j.spec.Tenant,
+			State: "canceled", Reason: "canceled",
+			QueueSeconds: time.Since(j.enq).Seconds(),
+			TotalSeconds: time.Since(j.enq).Seconds(),
+		}, Shard: -1}
+		r.appendLocked(Record{T: "complete", ID: j.id, State: "canceled", Reason: "canceled"})
+		r.canceled++
+		close(j.done)
+		r.retireLocked(j)
+		info := j.info
+		r.mu.Unlock()
+		return info, nil
+	}
+	r.appendLocked(Record{T: "cancel", ID: id})
+	sj, shard := j.sj, j.shard
+	r.mu.Unlock()
+	info, err := r.shards[shard].Cancel(sj.ID())
+	if err != nil {
+		return JobInfo{}, err
+	}
+	info.ID = id
+	return JobInfo{JobInfo: info, Shard: shard}, nil
+}
+
+func (r *Router) dropBacklogLocked(j *Job) {
+	for i, b := range r.backlog {
+		if b == j {
+			r.backlog = append(r.backlog[:i], r.backlog[i+1:]...)
+			return
+		}
+	}
+}
+
+// replayLocked reconstructs state from a previous incarnation's records:
+// jobs with a durable complete record are recovered as terminal (never
+// re-run — the exactly-once guard), a durable cancel with no completion
+// finalizes as canceled now, and everything else is resubmitted in the
+// original order — through normal placement, overflowing into the backlog
+// when the shards cannot take the whole queue at once.
+func (r *Router) replayLocked(recs []Record) {
+	submits := make(map[string]Record)
+	completes := make(map[string]Record)
+	cancels := make(map[string]bool)
+	var order []string
+	for _, rec := range recs {
+		switch rec.T {
+		case "submit":
+			if _, dup := submits[rec.ID]; !dup {
+				submits[rec.ID] = rec
+				order = append(order, rec.ID)
+			}
+			if rec.Seq > r.nextID {
+				r.nextID = rec.Seq
+			}
+		case "cancel":
+			cancels[rec.ID] = true
+		case "complete":
+			completes[rec.ID] = rec
+		}
+	}
+	for _, id := range order {
+		rec := submits[id]
+		spec := serve.Spec{
+			Kernel: rec.Kernel, N: rec.N, Tenant: rec.Tenant,
+			Deadline: time.Duration(rec.DeadlineMS) * time.Millisecond,
+		}
+		j := &Job{id: id, seq: rec.Seq, spec: spec, enq: time.Now(), shard: -1, done: make(chan struct{})}
+		if c, ok := completes[id]; ok {
+			j.terminal = true
+			j.info = JobInfo{JobInfo: serve.JobInfo{
+				ID: id, Kernel: spec.Kernel, N: spec.N, Tenant: spec.Tenant,
+				State: c.State, Reason: c.Reason, Checksum: c.Checksum,
+			}, Shard: -1}
+			close(j.done)
+			r.jobs[id] = j
+			r.recovered++
+			r.retireLocked(j)
+			continue
+		}
+		if cancels[id] {
+			j.terminal = true
+			j.info = JobInfo{JobInfo: serve.JobInfo{
+				ID: id, Kernel: spec.Kernel, N: spec.N, Tenant: spec.Tenant,
+				State: "canceled", Reason: "canceled",
+			}, Shard: -1}
+			close(j.done)
+			r.jobs[id] = j
+			r.recovered++
+			r.appendLocked(Record{T: "complete", ID: id, State: "canceled", Reason: "canceled"})
+			r.retireLocked(j)
+			continue
+		}
+		// Pending: resume. The deadline budget restarts from now — the
+		// original submission's wall clock did not survive the crash.
+		r.jobs[id] = j
+		r.replayed++
+		if err := r.placeLocked(j); err != nil {
+			j.sj, j.shard = nil, -1
+			r.backlog = append(r.backlog, j)
+		} else {
+			r.watchLocked(j)
+		}
+	}
+}
+
+func (r *Router) rebalanceLoop(every time.Duration) {
+	defer r.loopWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.Rebalance()
+		}
+	}
+}
+
+// Rebalance runs one balancing pass: drain the replay backlog into shards
+// with room, then — when the hottest shard stays saturated while the
+// coldest sits under half its load — withdraw queued jobs from the back
+// of the hot shard's dispatch order and resubmit them on the cold one.
+// Exported so tests and single-threaded drivers can pace it directly.
+func (r *Router) Rebalance() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.drainBacklogLocked()
+	hot, cold := 0, 0
+	hotL, coldL := r.shards[0].Load(), r.shards[0].Load()
+	for i := 1; i < len(r.shards); i++ {
+		l := r.shards[i].Load()
+		if l > hotL {
+			hot, hotL = i, l
+		}
+		if l < coldL {
+			cold, coldL = i, l
+		}
+	}
+	if hot == cold || hotL < r.cfg.MigrateThreshold || coldL > hotL/2 {
+		return
+	}
+	// The router is the only submitter, so the room observed here cannot
+	// be taken by anyone else before the resubmits below.
+	room := r.shards[cold].QueueCap() - r.shards[cold].Queued()
+	batch := r.cfg.MigrateBatch
+	if batch > room {
+		batch = room
+	}
+	if batch <= 0 {
+		return
+	}
+	for _, sj := range r.shards[hot].WithdrawQueued(batch) {
+		j := r.byShard[sj]
+		delete(r.byShard, sj)
+		if j == nil {
+			continue
+		}
+		nsj, err := r.shards[cold].Submit(j.spec)
+		target := cold
+		if err != nil {
+			// Fall back to the shard we just freed a slot on; if even that
+			// fails, park in the backlog for the next pass.
+			if nsj, err = r.shards[hot].Submit(j.spec); err != nil {
+				j.sj, j.shard = nil, -1
+				r.backlog = append(r.backlog, j)
+				continue
+			}
+			target = hot
+		} else {
+			r.migrations++
+		}
+		j.sj, j.shard = nsj, target
+		r.byShard[nsj] = j
+		r.watchLocked(j)
+	}
+}
+
+func (r *Router) drainBacklogLocked() {
+	if len(r.backlog) == 0 {
+		return
+	}
+	var rest []*Job
+	for _, j := range r.backlog {
+		if err := r.placeLocked(j); err != nil {
+			rest = append(rest, j)
+		} else {
+			r.watchLocked(j)
+		}
+	}
+	r.backlog = rest
+}
+
+// ShardStats is one shard's slice of the router stats.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	serve.Stats
+}
+
+// Stats is the router-wide snapshot the /stats endpoint serves.
+type Stats struct {
+	Shards     int    `json:"shards"`
+	Discipline string `json:"discipline"`
+	Joblog     bool   `json:"joblog"`
+	Accepted   int64  `json:"accepted"`
+	Rejected   int64  `json:"rejected"`
+	Completed  int64  `json:"completed"`
+	Canceled   int64  `json:"canceled"`
+	// Spills counts jobs placed off their home shard at admission;
+	// Migrations counts queued jobs moved between shards by the rebalancer.
+	Spills     int64 `json:"spills"`
+	Migrations int64 `json:"migrations"`
+	// Replayed counts jobs resubmitted from the log at startup; Recovered
+	// counts terminal records loaded from it; Backlog is the replay
+	// overflow still waiting for shard admission.
+	Replayed  int64        `json:"replayed"`
+	Recovered int64        `json:"recovered"`
+	Backlog   int          `json:"backlog"`
+	PerShard  []ShardStats `json:"per_shard"`
+}
+
+// Stats returns a consistent snapshot of the router counters plus each
+// shard's own Stats.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	st := Stats{
+		Shards:    len(r.shards),
+		Joblog:    r.log != nil,
+		Accepted:  r.accepted,
+		Rejected:  r.rejected,
+		Completed: r.completed,
+		Canceled:  r.canceled,
+		Spills:    r.spills, Migrations: r.migrations,
+		Replayed: r.replayed, Recovered: r.recovered,
+		Backlog: len(r.backlog),
+	}
+	r.mu.Unlock()
+	// Shard stats take each shard's own lock; collect them outside ours.
+	for i, s := range r.shards {
+		st.PerShard = append(st.PerShard, ShardStats{Shard: i, Stats: s.Stats()})
+	}
+	st.Discipline = st.PerShard[0].Discipline
+	return st
+}
+
+// Close shuts the tier down gracefully: the rebalancer stops, shards
+// cancel their backlogs with reason "shutdown" and wait for running jobs,
+// and the log is synced and closed. Shutdown cancellations are not logged
+// as terminal, so a logged router resumes them on the next start — Close
+// is crash-consistent by design.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.watchWG.Wait()
+		return
+	}
+	r.closed = true
+	close(r.stop)
+	for _, j := range r.backlog {
+		j.terminal = true
+		j.info = JobInfo{JobInfo: serve.JobInfo{
+			ID: j.id, Kernel: j.spec.Kernel, N: j.spec.N, Tenant: j.spec.Tenant,
+			State: "canceled", Reason: "shutdown",
+		}, Shard: -1}
+		close(j.done)
+		r.canceled++
+	}
+	r.backlog = nil
+	r.mu.Unlock()
+	r.loopWG.Wait()
+	for _, s := range r.shards {
+		s.Close()
+	}
+	r.watchWG.Wait()
+	if r.log != nil {
+		r.log.Close()
+	}
+}
+
+// Kill simulates a crash for the kill-and-replay tests: the log is
+// severed first (anything not yet appended is lost, exactly as SIGKILL
+// would lose it), then the shards are torn down without completion
+// records. The joblog on disk is left as a real crash would leave it.
+func (r *Router) Kill() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.stop)
+	if r.log != nil {
+		r.log.Kill()
+	}
+	r.mu.Unlock()
+	r.loopWG.Wait()
+	for _, s := range r.shards {
+		s.Close()
+	}
+	r.watchWG.Wait()
+}
