@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench fusion serve shard loadgen check
+.PHONY: all vet build test race bench fusion serve shard obs loadgen check
 
 all: check
 
@@ -19,9 +19,10 @@ test:
 # virtual-time traces, the adaptive grain tuner fed concurrently by harness
 # observations, the multi-tenant job server racing batched submits against
 # cancels on one shared pool, and the sharded router racing submits and
-# cancels against a mid-backlog kill and log replay.
+# cancels against a mid-backlog kill and log replay, and the observability
+# layer whose atomic instruments those servers update concurrently.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/... ./internal/obs/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
@@ -46,6 +47,13 @@ serve:
 shard:
 	$(GO) test -run 'xxx' -bench 'RouterThroughput' -benchtime 200x ./internal/shard/
 	$(GO) run ./cmd/pstlreport -exp ext-shard -scale 4
+
+# Observability: the disabled-path and enabled-path instrument benchmarks,
+# then the full ext-obs report (span-based p99 attribution on a hot shard
+# and span history across kill-and-replay).
+obs:
+	$(GO) test -run 'xxx' -bench 'MetricsDisabled|HistogramObserve|WindowsObserve' -benchtime 1000000x ./internal/obs/
+	$(GO) run ./cmd/pstlreport -exp ext-obs
 
 # Closed-loop load generator: a heavy and a light tenant on one pool;
 # swap -sched fifo to see the light tenant's p99 blow up.

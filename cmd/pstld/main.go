@@ -11,6 +11,17 @@
 //	curl -s localhost:8080/jobs/job-1
 //	curl -s -X DELETE localhost:8080/jobs/job-1
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics        # Prometheus text exposition
+//	curl -s localhost:8080/spans          # terminal job lifecycle spans
+//
+// Observability is always on in daemon mode: /metrics serves queue depth,
+// per-shard load, per-tenant latency histograms and more in Prometheus
+// text format (no client library needed); /spans serves the last -span-log
+// terminal job lifecycle spans; -slo sets a per-tenant latency objective
+// whose rolling-window burn rate shows up in /stats and /metrics. Watch
+// mode turns any reachable pstld's /stats into a live terminal dashboard:
+//
+//	pstld -watch localhost:8080 -watch-interval 1s
 //
 // Load-generator mode runs a closed-loop workload against an in-process
 // server (each simulated client submits, waits, and immediately resubmits)
@@ -43,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pstlbench/internal/obs"
 	"pstlbench/internal/report"
 	"pstlbench/internal/serve"
 	"pstlbench/internal/shard"
@@ -67,8 +79,21 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Second, "loadgen run time")
 		spec     = flag.String("spec", "big:1:sort:262144:4,small:1:reduce:16384:2",
 			"loadgen workload: tenant:weight:kernel:n:clients, comma-separated")
+		slo       = flag.Duration("slo", 0, "per-tenant latency objective behind the burn-rate gauges (0 disables)")
+		sloTarget = flag.Float64("slo-target", 0.99, "fraction of jobs that must meet -slo")
+		window    = flag.Duration("window", 5*time.Second, "rolling latency window width")
+		windows   = flag.Int("windows", 16, "rolling latency windows retained")
+		spanCap   = flag.Int("span-log", 4096, "terminal job lifecycle spans retained for /spans (0 disables)")
+		watchURL  = flag.String("watch", "", "watch mode: live dashboard polling this pstld base URL instead of serving")
+		watchIvl  = flag.Duration("watch-interval", time.Second, "watch mode refresh interval")
+		watchN    = flag.Int("watch-count", 0, "watch mode frames before exiting (0 = until interrupted)")
 	)
 	flag.Parse()
+
+	if *watchURL != "" {
+		runWatch(*watchURL, *watchIvl, *watchN)
+		return
+	}
 
 	disc, ok := serve.ParseDiscipline(*sched)
 	if !ok {
@@ -85,11 +110,24 @@ func main() {
 		BatchMax:      *batchMax,
 		TenantQuota:   *quota,
 		RetainDone:    *retain,
+		SLOObjective:  *slo,
+		SLOTarget:     *sloTarget,
+		WindowWidth:   *window,
+		WindowCount:   *windows,
 	}
 
 	if *loadgen {
 		runLoadgen(cfg, *spec, *duration)
 		return
+	}
+
+	// Observability is always on in daemon mode: the registry and span ring
+	// cost nothing on the job path beyond atomic updates, and /metrics +
+	// /spans are only routed when these are non-nil.
+	metrics := obs.NewRegistry()
+	var spanLog *obs.SpanLog
+	if *spanCap > 0 {
+		spanLog = obs.NewSpanLog(*spanCap)
 	}
 
 	// Sharded mode: a router over N shards, with optional durability. The
@@ -100,10 +138,14 @@ func main() {
 			Serve:      cfg,
 			LogPath:    *joblog,
 			RetainDone: *retain,
+			Metrics:    metrics,
+			Spans:      spanLog,
 		}, *addr, disc)
 		return
 	}
 
+	cfg.Metrics = metrics
+	cfg.Spans = spanLog
 	s := serve.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	done := make(chan struct{})

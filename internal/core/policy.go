@@ -17,6 +17,9 @@
 package core
 
 import (
+	"sync/atomic"
+	"time"
+
 	"pstlbench/internal/exec"
 )
 
@@ -60,6 +63,14 @@ type Policy struct {
 	// not dereference the returned iterator. Sequential fallbacks are not
 	// cancellable; the serving layer always runs cancellable jobs parallel.
 	Cancel *exec.Cancel
+
+	// FirstChunkNS, when non-nil, receives the wall-clock UnixNano of the
+	// first chunk the policy dispatches (CAS from 0, so only the first
+	// writer wins). The serving layer points this at a job span's
+	// first-chunk slot to measure scheduler dispatch latency. The check is
+	// per dispatch, not per chunk: a nil field costs one pointer test per
+	// parallel loop.
+	FirstChunkNS *int64
 }
 
 // Seq returns the sequential execution policy.
@@ -181,6 +192,15 @@ func (p Policy) Chunks(n int) ChunkSet {
 // wrapper — same observable semantics, one extra closure per call.
 func (p Policy) dispatch(n int, g exec.Grain, body func(worker, lo, hi int)) {
 	pl := p.pool()
+	if fc := p.FirstChunkNS; fc != nil && atomic.LoadInt64(fc) == 0 {
+		inner := body
+		body = func(worker, lo, hi int) {
+			if atomic.LoadInt64(fc) == 0 {
+				atomic.CompareAndSwapInt64(fc, 0, time.Now().UnixNano())
+			}
+			inner(worker, lo, hi)
+		}
+	}
 	if p.Cancel == nil {
 		pl.ForChunks(n, g, body)
 		return

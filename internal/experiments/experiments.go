@@ -95,6 +95,7 @@ func Index() []struct {
 		{"ext-serve", ExtensionServe},
 		{"ext-fusion", ExtensionFusion},
 		{"ext-shard", ExtensionShard},
+		{"ext-obs", ExtensionObs},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

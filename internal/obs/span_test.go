@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"pstlbench/internal/trace"
+)
+
+func TestPhaseNamesRoundTrip(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		got, ok := ParsePhase(p.String())
+		if !ok || got != p {
+			t.Fatalf("ParsePhase(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePhase("nonsense"); ok {
+		t.Fatal("ParsePhase accepted an unknown name")
+	}
+}
+
+func TestSpanAttribution(t *testing.T) {
+	s := NewJobSpan("job-1", 1, "acme", "sort", 1024)
+	base := time.Now().UnixNano()
+	s.MarkAt(PhaseAdmitted, base)
+	s.MarkAt(PhaseEnqueued, base+1e9)
+	s.MarkAt(PhaseStarted, base+3e9)
+	s.MarkAt(PhaseCompleted, base+4e9)
+
+	if q := s.QueueSeconds(); q < 1.99 || q > 2.01 {
+		t.Fatalf("queue = %v, want 2s (enqueued -> started)", q)
+	}
+	if e := s.ExecSeconds(); e < 0.99 || e > 1.01 {
+		t.Fatalf("exec = %v, want 1s", e)
+	}
+	if tot := s.TotalSeconds(); tot < 3.99 || tot > 4.01 {
+		t.Fatalf("total = %v, want 4s", tot)
+	}
+	p, ns, ok := s.Terminal()
+	if !ok || p != PhaseCompleted || ns != base+4e9 {
+		t.Fatalf("terminal = %v %d %v", p, ns, ok)
+	}
+}
+
+func TestSpanCanceledWhileQueued(t *testing.T) {
+	s := NewJobSpan("job-2", 2, "acme", "sort", 1024)
+	base := int64(1e15)
+	s.MarkAt(PhaseAdmitted, base)
+	s.MarkAt(PhaseEnqueued, base+1e9)
+	s.MarkAt(PhaseCanceled, base+5e9)
+	// Never started: the whole latency is queue wait.
+	if q := s.QueueSeconds(); q != 4 {
+		t.Fatalf("queue = %v, want 4 (enqueue -> cancel)", q)
+	}
+	if e := s.ExecSeconds(); e != 0 {
+		t.Fatalf("exec = %v, want 0", e)
+	}
+}
+
+func TestMarkOncePreservesFirstStamp(t *testing.T) {
+	s := NewJobSpan("job-3", 3, "t", "reduce", 8)
+	s.MarkAt(PhaseAdmitted, 12345)
+	s.MarkOnce(PhaseAdmitted)
+	if got := s.At(PhaseAdmitted); got != 12345 {
+		t.Fatalf("MarkOnce overwrote the stamp: %d", got)
+	}
+	s.MarkOnce(PhaseFirstChunk)
+	if s.At(PhaseFirstChunk) == 0 {
+		t.Fatal("MarkOnce on a fresh phase did not stamp")
+	}
+}
+
+func TestSeedPhasesRoundTrip(t *testing.T) {
+	orig := NewJobSpan("job-4", 4, "t", "scan", 64)
+	orig.MarkAt(PhaseAdmitted, 100)
+	orig.MarkAt(PhaseEnqueued, 200)
+
+	replayed := NewJobSpan("job-4", 4, "t", "scan", 64)
+	replayed.SeedPhases(orig.Phases())
+	replayed.Mark(PhaseReplayed)
+	replayed.MarkOnce(PhaseAdmitted) // replay path: must keep pre-crash stamp
+
+	if got := replayed.At(PhaseAdmitted); got != 100 {
+		t.Fatalf("seeded admitted = %d, want 100", got)
+	}
+	if got := replayed.At(PhaseEnqueued); got != 200 {
+		t.Fatalf("seeded enqueued = %d, want 200", got)
+	}
+	if replayed.At(PhaseReplayed) == 0 {
+		t.Fatal("replayed phase missing")
+	}
+	// Unknown names are ignored, not fatal.
+	replayed.SeedPhases(map[string]int64{"warp-drive": 7})
+}
+
+func TestMigrationCounting(t *testing.T) {
+	s := NewJobSpan("j", 1, "t", "sort", 1)
+	s.SetShard(0)
+	s.Mark(PhaseMigrated)
+	s.SetShard(1)
+	s.Mark(PhaseMigrated)
+	if got := s.Migrations(); got != 2 {
+		t.Fatalf("migrations = %d, want 2", got)
+	}
+	if got := s.Shard(); got != 1 {
+		t.Fatalf("shard = %d, want 1", got)
+	}
+}
+
+func TestSpanLogRing(t *testing.T) {
+	l := NewSpanLog(4)
+	for i := 0; i < 10; i++ {
+		s := NewJobSpan(fmt.Sprintf("job-%d", i), int64(i), "t", "sort", 1)
+		s.MarkAt(PhaseCompleted, int64(i+1))
+		l.Add(s)
+	}
+	if got := l.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	spans := l.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("surviving = %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("job-%d", 6+i); s.ID != want {
+			t.Fatalf("span[%d] = %s, want %s (oldest first)", i, s.ID, want)
+		}
+	}
+}
+
+// TestChromeTrackShape checks the span -> Chrome-track conversion: one
+// complete event per terminal job with its phases in args, instants for
+// intermediate phases, live jobs skipped, and timestamps rebased onto the
+// provided epoch.
+func TestChromeTrackShape(t *testing.T) {
+	epoch := int64(1e15)
+	done := NewJobSpan("job-1", 1, "acme", "sort", 128)
+	done.MarkAt(PhaseAdmitted, epoch+1000)
+	done.MarkAt(PhaseEnqueued, epoch+2000)
+	done.MarkAt(PhaseStarted, epoch+3000)
+	done.MarkAt(PhaseCompleted, epoch+9000)
+	live := NewJobSpan("job-2", 2, "acme", "sort", 128)
+	live.MarkAt(PhaseAdmitted, epoch+1000)
+
+	tr := ChromeTrack([]*JobSpan{done, live}, epoch)
+	if tr.Label != "jobs" {
+		t.Fatalf("label = %q, want jobs", tr.Label)
+	}
+	var complete, instants int
+	for _, e := range tr.Events {
+		if e.End > e.Start {
+			complete++
+			if e.Start != 1000 || e.End != 9000 {
+				t.Fatalf("rebased interval = [%d,%d], want [1000,9000]", e.Start, e.End)
+			}
+			if e.Args["terminal"] != "completed" {
+				t.Fatalf("terminal arg = %v", e.Args["terminal"])
+			}
+		} else {
+			instants++
+		}
+	}
+	if complete != 1 {
+		t.Fatalf("complete events = %d, want 1 (live span must be skipped)", complete)
+	}
+	if instants != 3 { // enqueued, started, completed (admitted is the span start)
+		t.Fatalf("instants = %d, want 3", instants)
+	}
+}
+
+// TestWriteChromeValidates: the combined tracer + span-log export parses
+// back as a valid Chrome trace with the jobs track after the tracer's own.
+func TestWriteChromeValidates(t *testing.T) {
+	tc := trace.New(2, 64)
+	s := NewJobSpan("job-1", 1, "t", "sort", 64)
+	now := time.Now().UnixNano()
+	s.MarkAt(PhaseAdmitted, now)
+	s.MarkAt(PhaseCompleted, now+1e6)
+	l := NewSpanLog(8)
+	l.Add(s)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tc, l); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, labels := ct.Tracks()
+	if len(labels) != 3 || labels[2] != "jobs" {
+		t.Fatalf("labels = %v, want jobs track at tid 2", labels)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"pstlbench/internal/obs"
 )
 
 // SubmitRequest is the POST /jobs body.
@@ -31,13 +33,43 @@ type errorBody struct {
 //	GET    /jobs/{id} job status     -> 200 JobInfo | 404
 //	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
 //	GET    /stats     server stats   -> 200 Stats
+//	GET    /metrics   Prometheus text exposition (when Config.Metrics set)
+//	GET    /spans     terminal job lifecycle spans (when Config.Spans set)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.metrics != nil {
+		mux.Handle("GET /metrics", MetricsHandler(s.metrics))
+	}
+	if s.spans != nil {
+		mux.Handle("GET /spans", SpansHandler(s.spans))
+	}
 	return mux
+}
+
+// MetricsHandler serves a registry in the Prometheus text exposition
+// format — shared by the standalone server and the shard router.
+func MetricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// SpansHandler serves the span log's surviving terminal spans, oldest
+// first, as a JSON array of obs.SpanInfo.
+func SpansHandler(log *obs.SpanLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := log.Spans()
+		out := make([]obs.SpanInfo, len(spans))
+		for i, sp := range spans {
+			out[i] = sp.Info()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -225,6 +225,27 @@ func (q *FairQueue) noteService(e *queued) {
 	}
 }
 
+// VirtualLag returns how far the busiest tenant lane has run ahead of the
+// WFQ virtual clock — the backlog of earned-but-unserved virtual service.
+// Near zero the queue is keeping up; growth means some tenant is queueing
+// faster than its weight earns service. Always 0 under FIFO.
+func (q *FairQueue) VirtualLag() float64 {
+	if q.disc != WFQ {
+		return 0
+	}
+	lag := 0.0
+	for tenant, finish := range q.lanes {
+		// An idle lane's banked finish tag is stale, not backlog.
+		if q.counts[tenant] == 0 {
+			continue
+		}
+		if d := finish - q.virtual; d > lag {
+			lag = d
+		}
+	}
+	return lag
+}
+
 // TakeMatching removes and returns up to max queued items satisfying
 // match, in dequeue order — the batched small-job path uses it to coalesce
 // same-tenant small jobs behind the entry Pop just selected. Each taken

@@ -12,6 +12,7 @@ import (
 	"pstlbench/internal/counters"
 	"pstlbench/internal/exec"
 	"pstlbench/internal/native"
+	"pstlbench/internal/obs"
 	"pstlbench/internal/trace"
 )
 
@@ -89,6 +90,38 @@ type Config struct {
 	// steal events and a cancelled job's freed workers are visible in the
 	// trace.
 	Tracer *trace.Tracer
+
+	// Metrics, when non-nil, receives the server's Prometheus instruments
+	// (queue depth, running, load, admission counters, per-tenant latency
+	// and windowed-latency histograms — see obs.go). MetricsLabels are
+	// alternating key, value pairs stamped on every instrument; a shard
+	// router labels each shard's server ("shard", "0") so the shared
+	// registry keeps the series apart.
+	Metrics       *obs.Registry
+	MetricsLabels []string
+
+	// Spans, when non-nil, retains each terminal job's lifecycle span (see
+	// obs.JobSpan) for /spans and the Chrome-trace export. Jobs arriving
+	// with Spec.Span already set (from a shard router) keep it; otherwise
+	// the server creates one per job.
+	Spans *obs.SpanLog
+
+	// SLOObjective is the per-tenant latency objective backing the burn-
+	// rate gauges and /stats SLO fields (0 disables). SLOObjectives
+	// overrides it per tenant; SLOTarget is the fraction of jobs that must
+	// meet the objective (default 0.99).
+	SLOObjective  time.Duration
+	SLOObjectives map[string]time.Duration
+	SLOTarget     float64
+
+	// WindowWidth x WindowCount size the rolling latency windows behind
+	// the windowed /stats quantiles (defaults 5s x 16).
+	WindowWidth time.Duration
+	WindowCount int
+
+	// windowNow is the rolling-window clock test hook (in-package tests
+	// step windows deterministically); nil means wall clock.
+	windowNow func() int64
 }
 
 // SaturatedError is the admission-control rejection: the queue is at
@@ -139,6 +172,11 @@ type Spec struct {
 	// Deadline, when positive, bounds the job's total time in the server
 	// (queue wait included); past it the job is canceled cooperatively.
 	Deadline time.Duration
+	// Span, when non-nil, is the job's lifecycle span. A shard router sets
+	// it at admission so phase stamps survive spill, migration, and
+	// crash-replay; a standalone server with Config.Spans creates one per
+	// job itself.
+	Span *obs.JobSpan
 }
 
 // Job is the server-side record of one submission. All fields are guarded
@@ -214,6 +252,21 @@ type Server struct {
 	// doneOrder is the eviction ring over terminal job IDs: oldest-first,
 	// bounded at retainDone (see Config.RetainDone).
 	doneOrder []string
+
+	// Observability strands (see obs.go). tenantObsM is guarded by obsMu,
+	// never by mu: the finish path reads it while holding mu, the submit
+	// path populates it before taking mu.
+	metrics       *obs.Registry
+	mlabels       []string
+	spans         *obs.SpanLog
+	batchHist     *obs.Histogram
+	sloObjective  time.Duration
+	sloObjectives map[string]time.Duration
+	sloTarget     float64
+	winCfg        obs.WindowConfig
+	obsMu         sync.Mutex
+	tenantObsM    map[string]*tenantObs
+	nextBatch     int64
 
 	accepted, rejected, completed, canceled, expired int64
 	batches, batchedJobs, withdrawn                  int64
@@ -301,6 +354,7 @@ func New(cfg Config) *Server {
 	if s.tr != nil {
 		s.tb = s.tr.Buf(s.tr.Tracks() - 1)
 	}
+	s.initObs(cfg)
 	return s
 }
 
@@ -330,6 +384,9 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	if spec.Tenant == "" {
 		spec.Tenant = "default"
 	}
+	// Tenant windows/instruments are created outside the server lock (see
+	// obs.go lock-order note); after the first submission this is a map hit.
+	s.ensureTenantObs(spec.Tenant)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -354,6 +411,12 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
+	if j.spec.Span == nil && s.spans != nil {
+		j.spec.Span = obs.NewJobSpan(j.id, j.num, spec.Tenant, spec.Kernel, spec.N)
+	}
+	// MarkOnce: a replayed or migrated job keeps its original admission
+	// stamp — the span records when the work first entered the system.
+	j.spec.Span.MarkOnce(obs.PhaseAdmitted)
 	// Admission control: jobs only ever wait in the bounded queue.
 	if !s.q.Push(Item{Tenant: spec.Tenant, Cost: float64(spec.N), Value: j}) {
 		s.rejected++
@@ -362,6 +425,7 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, &SaturatedError{RetryAfter: retry}
 	}
+	j.spec.Span.Mark(obs.PhaseEnqueued)
 	s.accepted++
 	s.jobs[j.id] = j
 	if spec.Deadline > 0 {
@@ -441,6 +505,7 @@ func (s *Server) drainLocked() {
 			return
 		}
 		j := it.Value.(*Job)
+		j.spec.Span.Mark(obs.PhaseDequeued)
 		batch := []*Job{j}
 		if s.smallJobMax > 0 && j.spec.N <= s.smallJobMax {
 			tenant := j.spec.Tenant
@@ -451,9 +516,17 @@ func (s *Server) drainLocked() {
 			}
 		}
 		now := time.Now()
+		if len(batch) > 1 {
+			s.nextBatch++
+			for _, bj := range batch {
+				bj.spec.Span.Mark(obs.PhaseBatched)
+				bj.spec.Span.SetBatch(s.nextBatch)
+			}
+		}
 		for _, bj := range batch {
 			bj.state = StateRunning
 			bj.started = now
+			bj.spec.Span.MarkAt(obs.PhaseStarted, now.UnixNano())
 		}
 		s.running++
 		s.wg.Add(1)
@@ -462,6 +535,7 @@ func (s *Server) drainLocked() {
 		} else {
 			s.batches++
 			s.batchedJobs += int64(len(batch))
+			s.batchHist.Observe(float64(len(batch)))
 			go s.runBatch(batch)
 		}
 	}
@@ -483,6 +557,7 @@ func (s *Server) finishJobLocked(j *Job, sum float64, ok bool) {
 		s.reg.Record("serve:"+j.spec.Tenant, counters.Set{Seconds: total})
 		s.reg.Record("serve:"+j.spec.Tenant+"/"+j.spec.Kernel, counters.Set{Seconds: total})
 		runSec := j.finished.Sub(j.started).Seconds()
+		s.observeDone(j.spec.Tenant, total, j.started.Sub(j.enqueued).Seconds(), runSec)
 		if s.emaRun == 0 {
 			s.emaRun = runSec
 		} else {
@@ -499,6 +574,7 @@ func (s *Server) finishJobLocked(j *Job, sum float64, ok bool) {
 	if j.timer != nil {
 		j.timer.Stop()
 	}
+	s.markTerminal(j, j.finished.UnixNano())
 	s.q.Done(j)
 	close(j.done)
 	s.retireLocked(j)
@@ -523,6 +599,9 @@ func (s *Server) retireLocked(j *Job) {
 func (s *Server) run(j *Job) {
 	defer s.wg.Done()
 	p := core.Par(s.pool).WithCancel(j.token)
+	// The first parallel chunk CASes its wall time into the span's
+	// first-chunk slot: started-to-first-chunk is pure dispatch latency.
+	p.FirstChunkNS = j.spec.Span.Slot(obs.PhaseFirstChunk)
 	var from int64
 	if s.tb != nil {
 		from = s.tr.Now()
@@ -562,6 +641,9 @@ func (s *Server) runBatch(jobs []*Job) {
 			var sum float64
 			ok := false
 			if !j.token.Canceled() {
+				// Batched jobs run sequentially (no chunk dispatch), so the
+				// task's own start stands in for the first chunk.
+				j.spec.Span.MarkOnce(obs.PhaseFirstChunk)
 				p := core.Policy{Cancel: j.token}
 				sum, ok = runKernel(p, j.spec.Kernel, j.spec.N)
 			}
@@ -609,6 +691,7 @@ func (s *Server) finishCanceledLocked(j *Job, reason string) {
 	}
 	s.canceled++
 	s.tenant(j.spec.Tenant).canceled++
+	s.markTerminal(j, j.finished.UnixNano())
 	close(j.done)
 	s.retireLocked(j)
 }
@@ -629,6 +712,9 @@ func (s *Server) WithdrawQueued(max int) []*Job {
 		j := it.Value.(*Job)
 		j.state = StateCanceled
 		j.reason = "migrated"
+		// The span travels with the Spec to the next shard; no terminal
+		// phase — the job is moving, not dying.
+		j.spec.Span.Mark(obs.PhaseMigrated)
 		j.finished = time.Now()
 		if j.timer != nil {
 			j.timer.Stop()
@@ -716,10 +802,22 @@ type TenantStats struct {
 	Completed int64  `json:"completed"`
 	Canceled  int64  `json:"canceled"`
 	Rejected  int64  `json:"rejected"`
-	// End-to-end latency of completed jobs, seconds.
+	// End-to-end latency of completed jobs, seconds. Mean/P50/P99 are
+	// cumulative since process start; the Window fields cover only the
+	// rolling window (WindowSeconds in Stats) — the pair distinguishes
+	// "slow since boot" from "slow right now".
 	MeanSeconds float64 `json:"mean_seconds,omitempty"`
 	P50Seconds  float64 `json:"p50_seconds,omitempty"`
 	P99Seconds  float64 `json:"p99_seconds,omitempty"`
+	// WindowJobs is how many completions the rolling window holds.
+	WindowJobs       int64   `json:"window_jobs,omitempty"`
+	WindowP50Seconds float64 `json:"window_p50_seconds,omitempty"`
+	WindowP99Seconds float64 `json:"window_p99_seconds,omitempty"`
+	// SLOSeconds echoes the tenant's latency objective; BurnRate is the
+	// windowed error-budget burn (1 = exactly on budget). Both omitted
+	// when no objective is configured.
+	SLOSeconds float64 `json:"slo_seconds,omitempty"`
+	BurnRate   float64 `json:"burn_rate,omitempty"`
 }
 
 // Stats is the server-wide snapshot the /stats endpoint serves.
@@ -740,8 +838,17 @@ type Stats struct {
 	// Withdrawn counts queued jobs a shard router migrated away.
 	Withdrawn int64 `json:"withdrawn,omitempty"`
 	// Load is the admission-pressure signal (see Server.Load).
-	Load    float64       `json:"load"`
-	Tenants []TenantStats `json:"tenants"`
+	Load float64 `json:"load"`
+	// WindowSeconds is the rolling-window horizon behind the tenants'
+	// windowed quantiles.
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+	// Trace-ring health (present when the server has a Tracer): recorded
+	// events, events evicted from full rings (drops were previously
+	// invisible to the operator), and the fraction of ring capacity in use.
+	TraceEvents    uint64        `json:"trace_events,omitempty"`
+	TraceLost      uint64        `json:"trace_lost,omitempty"`
+	TraceOccupancy float64       `json:"trace_occupancy,omitempty"`
+	Tenants        []TenantStats `json:"tenants"`
 }
 
 // Stats returns a consistent snapshot of the server counters and the
@@ -781,6 +888,13 @@ func (s *Server) Stats() Stats {
 		pairs = append(pairs, pair{t, *s.tenants[t]})
 	}
 	s.mu.Unlock()
+	if s.tr != nil {
+		st.TraceEvents = s.tr.TotalEvents()
+		st.TraceLost = s.tr.Lost()
+		if c := s.tr.Capacity(); c > 0 {
+			st.TraceOccupancy = float64(s.tr.Surviving()) / float64(c)
+		}
+	}
 	// Registry reads take the registry's own lock; do them outside ours.
 	for _, p := range pairs {
 		ts := TenantStats{
@@ -793,6 +907,19 @@ func (s *Server) Stats() Stats {
 			ts.MeanSeconds = rs.Mean
 			ts.P50Seconds = rs.P50
 			ts.P99Seconds = rs.P99
+		}
+		if to := s.tenantObsOf(p.t); to != nil {
+			if st.WindowSeconds == 0 {
+				st.WindowSeconds = to.windows.Span().Seconds()
+			}
+			snap := to.windows.Snapshot()
+			ts.WindowJobs = snap.Count
+			ts.WindowP50Seconds = snap.Quantile(0.5)
+			ts.WindowP99Seconds = snap.Quantile(0.99)
+			if to.slo.Objective > 0 {
+				ts.SLOSeconds = to.slo.Objective
+				ts.BurnRate = to.slo.BurnRate(snap)
+			}
 		}
 		st.Tenants = append(st.Tenants, ts)
 	}

@@ -24,12 +24,20 @@ type errorBody struct {
 //	GET    /jobs/{id} job status     -> 200 JobInfo | 404
 //	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
 //	GET    /stats     router stats   -> 200 Stats
+//	GET    /metrics   Prometheus text exposition (when Config.Metrics set)
+//	GET    /spans     terminal job lifecycle spans (when Config.Spans set)
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", r.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", r.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", r.handleCancel)
 	mux.HandleFunc("GET /stats", r.handleStats)
+	if r.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", serve.MetricsHandler(r.cfg.Metrics))
+	}
+	if r.cfg.Spans != nil {
+		mux.Handle("GET /spans", serve.SpansHandler(r.cfg.Spans))
+	}
 	return mux
 }
 

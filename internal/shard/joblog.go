@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"pstlbench/internal/obs"
 )
 
 // Record is one entry of the append-only job log. Three kinds:
@@ -32,6 +34,11 @@ type Record struct {
 	State      string  `json:"state,omitempty"`
 	Reason     string  `json:"reason,omitempty"`
 	Checksum   float64 `json:"checksum,omitempty"`
+	// Phases carries the job's lifecycle-span stamps known at append time
+	// (obs.Phase name -> UnixNano). Replay seeds the new incarnation's span
+	// from it, so a replayed job keeps its pre-crash history — above all
+	// the original admission time.
+	Phases map[string]int64 `json:"phases,omitempty"`
 }
 
 // Log is the append-only JSON-lines job log with group-committed fsync.
@@ -48,6 +55,10 @@ type Log struct {
 	interval time.Duration
 	timer    *time.Timer
 	closed   bool
+
+	// Instrumentation (see Instrument); nil histograms are disabled no-ops.
+	fsyncH  *obs.Histogram
+	commitH *obs.Histogram
 }
 
 // OpenLog opens (creating if absent) the log at path for appending and
@@ -170,13 +181,29 @@ func (l *Log) flushTimer() {
 	}
 }
 
+// Instrument points the log at a fsync-latency histogram (seconds per
+// fsync barrier) and a group-commit-size histogram (records per barrier),
+// so fsync stalls stop masquerading as scheduler saturation. Either may be
+// nil; safe to call before traffic.
+func (l *Log) Instrument(fsync, commit *obs.Histogram) {
+	l.mu.Lock()
+	l.fsyncH, l.commitH = fsync, commit
+	l.mu.Unlock()
+}
+
 func (l *Log) syncLocked() error {
 	if l.timer != nil {
 		l.timer.Stop()
 		l.timer = nil
 	}
+	if l.pending > 0 {
+		l.commitH.Observe(float64(l.pending))
+	}
 	l.pending = 0
-	return l.f.Sync()
+	start := time.Now()
+	err := l.f.Sync()
+	l.fsyncH.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // Sync forces any pending records to disk now.

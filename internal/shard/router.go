@@ -3,9 +3,11 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"pstlbench/internal/obs"
 	"pstlbench/internal/serve"
 )
 
@@ -48,6 +50,18 @@ type Config struct {
 	// serve.Config.RetainDone (default 1024; -1 unbounded). Replay loads at
 	// most this many recovered terminal records.
 	RetainDone int
+
+	// Metrics, when non-nil, receives the tier's Prometheus instruments:
+	// router-level families (shard count, per-shard load, spill/migration/
+	// replay counters, backlog, joblog fsync latency and group-commit size)
+	// plus every shard server's own families labeled {shard="i"}. The
+	// registry is shared — one /metrics endpoint covers the whole tier.
+	Metrics *obs.Registry
+	// Spans, when non-nil, is the shared terminal-span ring: the router
+	// creates each job's lifecycle span at admission (so phase stamps
+	// survive spill, migration, and crash-replay) and the shard servers
+	// retire spans into this log.
+	Spans *obs.SpanLog
 }
 
 func (c Config) withDefaults() Config {
@@ -146,8 +160,15 @@ func New(cfg Config) (*Router, error) {
 		stop:    make(chan struct{}),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		r.shards = append(r.shards, serve.New(cfg.Serve))
+		sc := cfg.Serve
+		sc.Metrics = cfg.Metrics
+		sc.Spans = cfg.Spans
+		if cfg.Metrics != nil {
+			sc.MetricsLabels = append([]string{"shard", strconv.Itoa(i)}, cfg.Serve.MetricsLabels...)
+		}
+		r.shards = append(r.shards, serve.New(sc))
 	}
+	r.initMetrics(cfg.Metrics)
 	if cfg.LogPath != "" {
 		log, recs, err := OpenLog(cfg.LogPath, cfg.FsyncEvery, cfg.FsyncInterval)
 		if err != nil {
@@ -157,6 +178,14 @@ func New(cfg Config) (*Router, error) {
 			return nil, err
 		}
 		r.log = log
+		if cfg.Metrics != nil {
+			log.Instrument(
+				cfg.Metrics.Histogram("pstld_joblog_fsync_seconds",
+					"Latency of each job-log fsync barrier.", obs.LatencyBuckets),
+				cfg.Metrics.Histogram("pstld_joblog_commit_records",
+					"Records group-committed per fsync barrier.", obs.SizeBuckets),
+			)
+		}
 		r.mu.Lock()
 		r.replayLocked(recs)
 		r.mu.Unlock()
@@ -166,6 +195,35 @@ func New(cfg Config) (*Router, error) {
 		go r.rebalanceLoop(cfg.RebalanceEvery)
 	}
 	return r, nil
+}
+
+// initMetrics registers the router-level families. Pull-time closures take
+// the router lock at scrape time; the registry never holds its own lock
+// while calling them, so the order is safe.
+func (r *Router) initMetrics(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	m.GaugeFunc("pstld_shards", "Shard servers behind the router.",
+		func() float64 { return float64(len(r.shards)) })
+	for i := range r.shards {
+		s := r.shards[i]
+		m.GaugeFunc("pstld_shard_load", "Per-shard admission pressure (see serve.Server.Load).",
+			s.Load, "shard", strconv.Itoa(i))
+	}
+	m.GaugeFunc("pstld_backlog", "Replayed jobs still awaiting shard admission.",
+		func() float64 { r.mu.Lock(); defer r.mu.Unlock(); return float64(len(r.backlog)) })
+	ctr := func(name, help string, f func() int64) {
+		m.CounterFunc(name, help, func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(f())
+		})
+	}
+	ctr("pstld_spills_total", "Jobs placed off their home shard at admission.", func() int64 { return r.spills })
+	ctr("pstld_migrations_total", "Queued jobs moved between shards by the rebalancer.", func() int64 { return r.migrations })
+	ctr("pstld_replayed_total", "Jobs resubmitted from the job log at startup.", func() int64 { return r.replayed })
+	ctr("pstld_recovered_total", "Terminal records recovered from the job log.", func() int64 { return r.recovered })
 }
 
 // Shard returns shard i's server — the per-shard stats and registry hook.
@@ -199,6 +257,12 @@ func (r *Router) Submit(spec serve.Spec) (*Job, error) {
 		enq:  time.Now(),
 		done: make(chan struct{}),
 	}
+	if r.cfg.Spans != nil {
+		// Router-owned span: the stamps travel with the Spec through spill,
+		// migration, and (via the log record's Phases) crash-replay.
+		j.spec.Span = obs.NewJobSpan(j.id, j.seq, spec.Tenant, spec.Kernel, spec.N)
+		j.spec.Span.Mark(obs.PhaseAdmitted)
+	}
 	if err := r.placeLocked(j); err != nil {
 		r.rejected++
 		return nil, err
@@ -209,6 +273,7 @@ func (r *Router) Submit(spec serve.Spec) (*Job, error) {
 		T: "submit", ID: j.id, Seq: j.seq,
 		Kernel: spec.Kernel, N: spec.N, Tenant: spec.Tenant,
 		DeadlineMS: int64(spec.Deadline / time.Millisecond),
+		Phases:     j.spec.Span.Phases(),
 	})
 	r.jobs[j.id] = j
 	r.accepted++
@@ -246,6 +311,7 @@ func (r *Router) placeLocked(j *Job) error {
 	if target != home {
 		r.spills++
 	}
+	j.spec.Span.SetShard(target)
 	j.shard = target
 	j.sj = sj
 	r.byShard[sj] = j
@@ -374,6 +440,10 @@ func (r *Router) Cancel(id string) (JobInfo, error) {
 		}, Shard: -1}
 		r.appendLocked(Record{T: "complete", ID: j.id, State: "canceled", Reason: "canceled"})
 		r.canceled++
+		if sp := j.spec.Span; sp != nil {
+			sp.Mark(obs.PhaseCanceled)
+			r.cfg.Spans.Add(sp)
+		}
 		close(j.done)
 		r.retireLocked(j)
 		info := j.info
@@ -461,6 +531,15 @@ func (r *Router) replayLocked(recs []Record) {
 		}
 		// Pending: resume. The deadline budget restarts from now — the
 		// original submission's wall clock did not survive the crash.
+		if r.cfg.Spans != nil {
+			// The new incarnation's span starts from the logged pre-crash
+			// phases (the original admission stamp above all), plus a
+			// replayed mark dating the restart.
+			sp := obs.NewJobSpan(id, rec.Seq, spec.Tenant, spec.Kernel, spec.N)
+			sp.SeedPhases(rec.Phases)
+			sp.Mark(obs.PhaseReplayed)
+			j.spec.Span = sp
+		}
 		r.jobs[id] = j
 		r.replayed++
 		if err := r.placeLocked(j); err != nil {
@@ -543,6 +622,7 @@ func (r *Router) Rebalance() {
 			r.migrations++
 		}
 		j.sj, j.shard = nsj, target
+		j.spec.Span.SetShard(target)
 		r.byShard[nsj] = j
 		r.watchLocked(j)
 	}

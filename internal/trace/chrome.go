@@ -34,8 +34,33 @@ type ChromeTrace struct {
 	TraceEvents     []chromeEvent  `json:"traceEvents"`
 }
 
+// ExportEvent is one externally produced event for WriteChromeExtra:
+// timestamps are nanoseconds in the tracer's clock domain (an instant when
+// End == Start), with free-form args.
+type ExportEvent struct {
+	Name  string
+	Start int64
+	End   int64
+	Args  map[string]any
+}
+
+// ExportTrack is one externally produced track (e.g. job lifecycle spans
+// from internal/obs) appended after the tracer's own tracks.
+type ExportTrack struct {
+	Label  string
+	Events []ExportEvent
+}
+
 // WriteChrome streams the tracer's events as Chrome trace-event JSON.
 func WriteChrome(w io.Writer, t *Tracer) error {
+	return WriteChromeExtra(w, t, nil)
+}
+
+// WriteChromeExtra streams the tracer's events plus extra tracks supplied
+// by a higher layer. Extra tracks get tids after the tracer's own tracks
+// (so, e.g., a "jobs" track renders above or below the worker tracks with
+// its spans containing the chunks they own on the shared timeline).
+func WriteChromeExtra(w io.Writer, t *Tracer, extra []ExportTrack) error {
 	if t == nil {
 		return fmt.Errorf("trace: WriteChrome on a nil tracer")
 	}
@@ -81,6 +106,37 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 		}
 		for _, e := range t.Events(ti) {
 			if err := emit(t.chromeOf(e, ti)); err != nil {
+				return err
+			}
+		}
+	}
+	for xi, tr := range extra {
+		tid := t.Tracks() + xi
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": tr.Label},
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"sort_index": tid},
+		}); err != nil {
+			return err
+		}
+		for _, e := range tr.Events {
+			ce := chromeEvent{
+				Name: e.Name, Pid: 0, Tid: tid,
+				Ts: float64(e.Start) / 1e3, Args: e.Args,
+			}
+			if e.End > e.Start {
+				ce.Ph = "X"
+				ce.Dur = float64(e.End-e.Start) / 1e3
+			} else {
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			if err := emit(ce); err != nil {
 				return err
 			}
 		}

@@ -185,6 +185,27 @@ func (b *Buf) Events() []Event {
 	return out
 }
 
+// Len returns how many events currently survive in the ring.
+func (b *Buf) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := uint64(len(b.ev)); b.pos > c {
+		return int(c)
+	}
+	return int(b.pos)
+}
+
+// Cap returns the ring capacity (0 on a nil Buf).
+func (b *Buf) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.ev)
+}
+
 // Tracer owns the per-track ring buffers and the clock of one tracing
 // session. A nil *Tracer is valid and disabled: Buf returns nil and the
 // clock methods return 0 / no-op.
@@ -362,4 +383,41 @@ func (t *Tracer) Lost() uint64 {
 		n += b.Lost()
 	}
 	return n
+}
+
+// Surviving returns how many events currently sit in the rings across all
+// tracks (TotalEvents minus Lost).
+func (t *Tracer) Surviving() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range t.bufs {
+		n += b.Len()
+	}
+	return n
+}
+
+// Capacity returns the total ring capacity across all tracks.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range t.bufs {
+		n += b.Cap()
+	}
+	return n
+}
+
+// EpochUnixNano returns the wall-clock UnixNano corresponding to the
+// tracer's time zero, so externally stamped wall times (job lifecycle
+// spans) can be rebased onto the tracer's timeline: tracerTime =
+// unixNano - EpochUnixNano. Returns 0 for a virtual or nil tracer, whose
+// timeline has no wall anchor.
+func (t *Tracer) EpochUnixNano() int64 {
+	if t == nil || t.virtual {
+		return 0
+	}
+	return t.start.UnixNano()
 }
