@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench fusion serve shard obs loadgen check
+.PHONY: all vet build test race bench fusion serve shard obs cluster loadgen check
 
 all: check
 
@@ -18,11 +18,13 @@ test:
 # event-tracing layer its workers write to, the simulator that emits
 # virtual-time traces, the adaptive grain tuner fed concurrently by harness
 # observations, the multi-tenant job server racing batched submits against
-# cancels on one shared pool, and the sharded router racing submits and
-# cancels against a mid-backlog kill and log replay, and the observability
-# layer whose atomic instruments those servers update concurrently.
+# cancels on one shared pool, the sharded router racing submits and
+# cancels against a mid-backlog kill and log replay, the cluster transport
+# racing retries, polls, and heartbeats against abrupt worker death, and
+# the observability layer whose atomic instruments those servers update
+# concurrently.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/... ./internal/obs/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/... ./internal/cluster/... ./internal/obs/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
@@ -47,6 +49,13 @@ serve:
 shard:
 	$(GO) test -run 'xxx' -bench 'RouterThroughput' -benchtime 200x ./internal/shard/
 	$(GO) run ./cmd/pstlreport -exp ext-shard -scale 4
+
+# Distributed shard plane: the cluster package's transport and failover
+# tests, then the full ext-cluster report (worker-death failover with the
+# exactly-once checksum audit, and live ring growth's remap fraction).
+cluster:
+	$(GO) test ./internal/cluster/
+	$(GO) run ./cmd/pstlreport -exp ext-cluster -scale 4
 
 # Observability: the disabled-path and enabled-path instrument benchmarks,
 # then the full ext-obs report (span-based p99 attribution on a hot shard

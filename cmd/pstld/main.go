@@ -39,12 +39,29 @@
 // job re-run:
 //
 //	pstld -addr :8080 -shards 4 -workers 2 -joblog /var/run/pstld.jsonl
+//
+// Distributed mode moves the shards into separate worker processes. Each
+// worker is a single serve.Server exposing the worker RPC surface
+// (submit/poll/withdraw/healthz); the router drives them over HTTP with
+// health-checked failover — a SIGKILLed worker is detected by missed
+// heartbeats and its acknowledged backlog is re-placed on the survivors:
+//
+//	pstld -worker -addr :9001
+//	pstld -worker -addr :9002
+//	pstld -addr :8080 -peers http://127.0.0.1:9001,http://127.0.0.1:9002
+//
+// A new worker can join a live ring; consistent hashing keeps the remap
+// to roughly 1/(N+1) of tenants:
+//
+//	pstld -worker -addr :9003 -join http://127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,8 +69,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"pstlbench/internal/cluster"
 	"pstlbench/internal/obs"
 	"pstlbench/internal/report"
 	"pstlbench/internal/serve"
@@ -87,6 +106,13 @@ func main() {
 		watchURL  = flag.String("watch", "", "watch mode: live dashboard polling this pstld base URL instead of serving")
 		watchIvl  = flag.Duration("watch-interval", time.Second, "watch mode refresh interval")
 		watchN    = flag.Int("watch-count", 0, "watch mode frames before exiting (0 = until interrupted)")
+		worker    = flag.Bool("worker", false, "worker mode: serve one shard's RPC surface for a remote router")
+		peers     = flag.String("peers", "", "comma-separated worker base URLs to drive as remote shards (router mode)")
+		joinURL   = flag.String("join", "", "worker mode: router base URL to join once the listener is up")
+		advertise = flag.String("advertise", "", "worker mode: base URL the router dials back (default derived from -addr)")
+		heartbeat = flag.Duration("heartbeat", 250*time.Millisecond, "cluster heartbeat interval")
+		suspectN  = flag.Int("suspect-after", 2, "consecutive failed heartbeats before a shard is suspect")
+		deadN     = flag.Int("dead-after", 5, "consecutive failed heartbeats before a shard is dead and its backlog re-placed")
 	)
 	flag.Parse()
 
@@ -130,67 +156,149 @@ func main() {
 		spanLog = obs.NewSpanLog(*spanCap)
 	}
 
-	// Sharded mode: a router over N shards, with optional durability. The
-	// single-server path below stays untouched when neither is asked for.
-	if *shards > 1 || *joblog != "" {
-		runRouter(shard.Config{
+	// Worker mode: one serve.Server exposing the worker RPC surface; the
+	// shard placement brain lives in the router process driving it.
+	if *worker {
+		cfg.Metrics = metrics
+		cfg.Spans = spanLog
+		runWorker(cfg, *addr, *advertise, *joinURL)
+		return
+	}
+
+	// Sharded mode: a router over N shards — in-process with -shards, or
+	// separate worker processes with -peers. The single-server path below
+	// stays untouched when neither is asked for.
+	if *shards > 1 || *joblog != "" || *peers != "" {
+		scfg := shard.Config{
 			Shards:     *shards,
 			Serve:      cfg,
 			LogPath:    *joblog,
 			RetainDone: *retain,
 			Metrics:    metrics,
 			Spans:      spanLog,
-		}, *addr, disc)
+		}
+		if *peers != "" {
+			cm := obs.NewClusterMetrics(metrics)
+			dial := func(url string) (shard.ShardHandle, error) {
+				return cluster.NewRemoteShard(cluster.RemoteConfig{
+					Client: cluster.ClientConfig{BaseURL: url, Metrics: cm, Peer: url},
+				}), nil
+			}
+			for _, u := range strings.Split(*peers, ",") {
+				if u = strings.TrimSpace(u); u == "" {
+					continue
+				}
+				h, _ := dial(u)
+				scfg.Handles = append(scfg.Handles, h)
+			}
+			if len(scfg.Handles) == 0 {
+				fatal("-peers lists no worker URLs")
+			}
+			scfg.Join = dial
+			scfg.HeartbeatEvery = *heartbeat
+			scfg.SuspectAfter = *suspectN
+			scfg.DeadAfter = *deadN
+		}
+		runRouter(scfg, *addr, disc)
 		return
 	}
 
 	cfg.Metrics = metrics
 	cfg.Spans = spanLog
 	s := serve.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
-	done := make(chan struct{})
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
-		fmt.Fprintln(os.Stderr, "pstld: shutting down")
-		httpSrv.Close()
-		close(done)
-	}()
 	fmt.Fprintf(os.Stderr, "pstld: serving on %s (workers=%d sched=%s queue-cap=%d max-concurrent=%d)\n",
 		*addr, s.Stats().Workers, disc, *queueCap, *maxConc)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	serveAndDrain(&http.Server{Handler: s.Handler()}, listen(*addr), s.Close)
+}
+
+// listen binds the daemon's address up front so the "listening" log line
+// and any -join announcement only happen once the socket is really open.
+func listen(addr string) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
 		fatal("%v", err)
 	}
-	<-done
-	s.Close()
+	return ln
+}
+
+// serveAndDrain runs the listener until SIGINT/SIGTERM, drains in-flight
+// HTTP exchanges via Shutdown, and only then closes the backing tier — a
+// status query racing shutdown gets its response, not a connection reset,
+// and jobs accepted before the signal still reach a terminal state.
+func serveAndDrain(httpSrv *http.Server, ln net.Listener, closeBackend func()) {
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "pstld: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if httpSrv.Shutdown(ctx) != nil {
+			httpSrv.Close()
+		}
+		close(drained)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("%v", err)
+	}
+	<-drained
+	closeBackend()
+}
+
+// runWorker serves one shard over the worker RPC surface and, with -join,
+// announces itself to a live router once the listener is up.
+func runWorker(cfg serve.Config, addr, advertise, joinURL string) {
+	s := serve.New(cfg)
+	ln := listen(addr)
+	self := advertise
+	if self == "" {
+		self = deriveAdvertise(ln.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "pstld: worker on %s (advertise %s, workers=%d)\n",
+		ln.Addr(), self, s.Stats().Workers)
+	if joinURL != "" {
+		go func() {
+			if err := cluster.Join(joinURL, self, 5*time.Second); err != nil {
+				fatal("join %s: %v", joinURL, err)
+			}
+			fmt.Fprintf(os.Stderr, "pstld: joined ring at %s\n", joinURL)
+		}()
+	}
+	serveAndDrain(&http.Server{Handler: s.Handler()}, ln, s.Close)
+}
+
+// deriveAdvertise turns the bound listener address into a base URL the
+// router can dial back: an unspecified bind host becomes loopback.
+func deriveAdvertise(a net.Addr) string {
+	ta, ok := a.(*net.TCPAddr)
+	if !ok {
+		return "http://" + a.String()
+	}
+	host := ta.IP.String()
+	if ta.IP == nil || ta.IP.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, strconv.Itoa(ta.Port))
 }
 
 // runRouter serves the sharded tier: same HTTP surface as the single
-// server, plus per-shard stats and (with -joblog) crash-safe replay.
+// server, plus per-shard stats, (with -joblog) crash-safe replay, and
+// (with -peers) remote shards with health-checked failover and /cluster/join.
 func runRouter(cfg shard.Config, addr string, disc serve.Discipline) {
 	r, err := shard.New(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: r.Handler()}
-	done := make(chan struct{})
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
-		fmt.Fprintln(os.Stderr, "pstld: shutting down")
-		httpSrv.Close()
-		close(done)
-	}()
 	st := r.Stats()
-	fmt.Fprintf(os.Stderr, "pstld: serving on %s (shards=%d workers=%d sched=%s joblog=%q replayed=%d recovered=%d)\n",
-		addr, st.Shards, st.PerShard[0].Workers, disc, cfg.LogPath, st.Replayed, st.Recovered)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal("%v", err)
+	if len(cfg.Handles) > 0 {
+		fmt.Fprintf(os.Stderr, "pstld: router on %s (remote shards=%d healthy=%d heartbeat=%v joblog=%q replayed=%d recovered=%d)\n",
+			addr, st.Shards, st.HealthyShards, cfg.HeartbeatEvery, cfg.LogPath, st.Replayed, st.Recovered)
+	} else {
+		fmt.Fprintf(os.Stderr, "pstld: serving on %s (shards=%d workers=%d sched=%s joblog=%q replayed=%d recovered=%d)\n",
+			addr, st.Shards, st.PerShard[0].Workers, disc, cfg.LogPath, st.Replayed, st.Recovered)
 	}
-	<-done
-	r.Close()
+	serveAndDrain(&http.Server{Handler: r.Handler()}, listen(addr), r.Close)
 }
 
 // tenantSpec is one parsed -spec entry.

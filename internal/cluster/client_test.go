@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pstlbench/internal/serve"
+)
+
+// timeoutError satisfies net.Error with Timeout() == true.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// dropResponse forwards requests to the real transport but, for matching
+// requests, discards the worker's response and reports a timeout — the
+// "accepted but the ack was lost" fault the retry path must survive.
+type dropResponse struct {
+	next    http.RoundTripper
+	match   func(*http.Request) bool
+	dropped atomic.Int64
+	limit   int64 // drop at most this many matches
+}
+
+func (d *dropResponse) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := d.next.RoundTrip(req)
+	if err != nil || !d.match(req) {
+		return resp, err
+	}
+	if n := d.dropped.Add(1); n > d.limit {
+		d.dropped.Add(-1)
+		return resp, nil
+	}
+	// The worker processed the request; the client never hears about it.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil, timeoutError{}
+}
+
+func newWorker(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(serve.Config{Workers: 2, QueueCap: 256, MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// TestRetriedSubmitDeduplicates pins the transport retry semantics: a
+// submit whose response times out after the worker accepted must return
+// the SAME job on retry — one accept, one execution, no double-run.
+func TestRetriedSubmitDeduplicates(t *testing.T) {
+	s, ts := newWorker(t)
+	fault := &dropResponse{
+		next:  http.DefaultTransport,
+		match: func(r *http.Request) bool { return r.Method == "POST" && r.URL.Path == "/jobs" },
+		limit: 1,
+	}
+	c := NewClient(ClientConfig{
+		BaseURL:     ts.URL,
+		Transport:   fault,
+		Timeout:     2 * time.Second,
+		BackoffBase: time.Millisecond,
+	})
+	info, err := c.Submit(serve.Spec{ID: "job-42", Kernel: "reduce", N: 4096})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if info.ID != "job-42" {
+		t.Fatalf("submitted job ID %q, want job-42", info.ID)
+	}
+	if got := fault.dropped.Load(); got != 1 {
+		t.Fatalf("fault injected %d times, want 1", got)
+	}
+	waitDone(t, c, "job-42")
+	st := s.Stats()
+	if st.Accepted != 1 || st.Completed != 1 {
+		t.Fatalf("worker accepted=%d completed=%d, want 1/1 (retry double-ran the job)", st.Accepted, st.Completed)
+	}
+	if want := serve.ExpectedChecksum("reduce", 4096); mustGet(t, c, "job-42").Checksum != want {
+		t.Fatalf("checksum mismatch")
+	}
+}
+
+// TestRetryGivesUpAfterBudget: a transport that always fails must surface
+// an error after 1+Retries attempts, not hang.
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	_, ts := newWorker(t)
+	fault := &dropResponse{
+		next:  http.DefaultTransport,
+		match: func(r *http.Request) bool { return true },
+		limit: 1 << 30,
+	}
+	c := NewClient(ClientConfig{
+		BaseURL:     ts.URL,
+		Transport:   fault,
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+	})
+	_, err := c.Submit(serve.Spec{ID: "job-1", Kernel: "reduce", N: 64})
+	if err == nil {
+		t.Fatal("submit succeeded through an always-failing transport")
+	}
+	if got := fault.dropped.Load(); got != 3 {
+		t.Fatalf("transport saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if !strings.Contains(err.Error(), "injected timeout") {
+		t.Fatalf("error should carry the last transport failure: %v", err)
+	}
+}
+
+// TestSubmitWithoutIDNeverRetries: with no dedup key, a retry could
+// double-run; the client must make exactly one attempt.
+func TestSubmitWithoutIDNeverRetries(t *testing.T) {
+	_, ts := newWorker(t)
+	fault := &dropResponse{
+		next:  http.DefaultTransport,
+		match: func(r *http.Request) bool { return r.Method == "POST" && r.URL.Path == "/jobs" },
+		limit: 1 << 30,
+	}
+	c := NewClient(ClientConfig{BaseURL: ts.URL, Transport: fault, BackoffBase: time.Millisecond})
+	if _, err := c.Submit(serve.Spec{Kernel: "reduce", N: 64}); err == nil {
+		t.Fatal("submit should fail when its only attempt times out")
+	}
+	if got := fault.dropped.Load(); got != 1 {
+		t.Fatalf("ID-less submit made %d attempts, want exactly 1", got)
+	}
+}
+
+// TestSaturationNotRetried: 429 is a worker decision, not a transport
+// fault — it must surface immediately as a SaturatedError.
+func TestSaturationNotRetried(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1, QueueCap: 1, MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	c := NewClient(ClientConfig{BaseURL: ts.URL, BackoffBase: time.Millisecond})
+	// Fill the only queue slot (plus the running slot) with slow sorts.
+	var id int
+	for {
+		id++
+		_, err := c.Submit(serve.Spec{ID: fmt.Sprintf("job-%d", id), Kernel: "sort", N: 1 << 20})
+		if err != nil {
+			var sat *serve.SaturatedError
+			if !asSaturated(err, &sat) {
+				t.Fatalf("want SaturatedError, got %v", err)
+			}
+			if sat.RetryAfter <= 0 {
+				t.Fatalf("saturated error carries no Retry-After hint")
+			}
+			return
+		}
+		if id > 64 {
+			t.Fatal("queue never saturated")
+		}
+	}
+}
+
+// TestDeadlineTravelsAbsolute: the wire deadline is an absolute
+// timestamp, so a deadline already spent by transport delay expires the
+// job instead of granting it a fresh budget.
+func TestDeadlineTravelsAbsolute(t *testing.T) {
+	_, ts := newWorker(t)
+	c := NewClient(ClientConfig{BaseURL: ts.URL})
+	spec := serve.Spec{
+		ID: "job-7", Kernel: "sort", N: 1 << 22,
+		DeadlineAt: time.Now().Add(-time.Second), // spent before arrival
+	}
+	if _, err := c.Submit(spec); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	info := waitDone(t, c, "job-7")
+	if info.State != "canceled" || info.Reason != "deadline" {
+		t.Fatalf("spent deadline gave state=%s reason=%s, want canceled/deadline", info.State, info.Reason)
+	}
+}
+
+func asSaturated(err error, sat **serve.SaturatedError) bool {
+	s, ok := err.(*serve.SaturatedError)
+	if ok {
+		*sat = s
+	}
+	return ok
+}
+
+func mustGet(t *testing.T, c *Client, id string) serve.JobInfo {
+	t.Helper()
+	info, found, err := c.Get(id)
+	if err != nil || !found {
+		t.Fatalf("get %s: found=%v err=%v", id, found, err)
+	}
+	return info
+}
+
+func waitDone(t *testing.T, c *Client, id string) serve.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info, found, err := c.Get(id)
+		if err == nil && found && (info.State == "done" || info.State == "canceled") {
+			return info
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return serve.JobInfo{}
+}

@@ -96,6 +96,7 @@ func Index() []struct {
 		{"ext-fusion", ExtensionFusion},
 		{"ext-shard", ExtensionShard},
 		{"ext-obs", ExtensionObs},
+		{"ext-cluster", ExtensionCluster},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

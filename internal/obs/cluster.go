@@ -1,0 +1,63 @@
+package obs
+
+// ClusterMetrics bundles the distributed-plane instrument families on the
+// registry's allocation-free path, shared between the router's health
+// plane and the cluster transport clients:
+//
+//	pstld_cluster_heartbeat_seconds{shard}  heartbeat RTT histogram
+//	pstld_cluster_health_state{shard}       0 healthy / 1 suspect / 2 dead
+//	pstld_cluster_retries_total{peer}       transport attempts beyond the first
+//	pstld_cluster_timeouts_total{peer}      per-attempt timeouts observed
+//	pstld_cluster_replaced_total            jobs re-placed off dead shards
+//	pstld_cluster_shard_deaths_total        shards declared dead
+//
+// All methods are nil-receiver-safe, like the instruments themselves: a
+// tier without a registry runs the same code with no-op instruments.
+type ClusterMetrics struct {
+	reg *Registry
+}
+
+// NewClusterMetrics wraps reg; a nil registry yields a nil (no-op) bundle.
+func NewClusterMetrics(reg *Registry) *ClusterMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ClusterMetrics{reg: reg}
+}
+
+// HeartbeatRTT returns the heartbeat round-trip histogram for one shard.
+func (m *ClusterMetrics) HeartbeatRTT(shard string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Histogram("pstld_cluster_heartbeat_seconds",
+		"Heartbeat round-trip latency per shard.", LatencyBuckets, "shard", shard)
+}
+
+// HealthState registers the pull-time health-state gauge for one shard.
+func (m *ClusterMetrics) HealthState(shard string, f func() float64) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc("pstld_cluster_health_state",
+		"Shard health state: 0 healthy, 1 suspect, 2 dead.", f, "shard", shard)
+}
+
+// Retries returns the transport retry counter for one peer: attempts
+// beyond the first, whatever their outcome.
+func (m *ClusterMetrics) Retries(peer string) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("pstld_cluster_retries_total",
+		"Transport request retries per peer.", "peer", peer)
+}
+
+// Timeouts returns the transport timeout counter for one peer.
+func (m *ClusterMetrics) Timeouts(peer string) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("pstld_cluster_timeouts_total",
+		"Transport per-attempt timeouts per peer.", "peer", peer)
+}

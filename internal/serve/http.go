@@ -12,11 +12,54 @@ import (
 
 // SubmitRequest is the POST /jobs body.
 type SubmitRequest struct {
+	// ID, when set, is a caller-assigned job identifier (see Spec.ID); a
+	// resubmission with a known ID returns the existing job, which makes
+	// transport-level submit retries safe.
+	ID     string `json:"id,omitempty"`
 	Kernel string `json:"kernel"`
 	N      int    `json:"n"`
 	Tenant string `json:"tenant,omitempty"`
 	// DeadlineMS bounds the job's total time in the server, milliseconds.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// DeadlineUnixMS, when set, is the absolute deadline as a Unix
+	// timestamp in milliseconds and takes precedence over DeadlineMS, so
+	// transport latency tightens the budget instead of extending it.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms,omitempty"`
+}
+
+// WithdrawRequest is the POST /withdraw body.
+type WithdrawRequest struct {
+	// Max bounds how many queued jobs to withdraw.
+	Max int `json:"max"`
+}
+
+// WithdrawnJob is one job handed back by POST /withdraw: everything the
+// router needs to resubmit it on another shard.
+type WithdrawnJob struct {
+	ID             string `json:"id"`
+	Kernel         string `json:"kernel"`
+	N              int    `json:"n"`
+	Tenant         string `json:"tenant"`
+	DeadlineUnixMS int64  `json:"deadline_unix_ms,omitempty"`
+}
+
+// WithdrawResponse is the POST /withdraw reply.
+type WithdrawResponse struct {
+	Jobs []WithdrawnJob `json:"jobs"`
+}
+
+// PollRequest is the POST /jobs/poll body: a batch status query, one RPC
+// per poll cycle regardless of how many jobs are in flight.
+type PollRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// PollResponse is the POST /jobs/poll reply. Missing lists IDs the server
+// no longer knows — evicted or lost to a restart — which the caller must
+// treat as gone, not pending.
+type PollResponse struct {
+	Jobs    []JobInfo `json:"jobs"`
+	Missing []string  `json:"missing,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -33,14 +76,24 @@ type errorBody struct {
 //	GET    /jobs/{id} job status     -> 200 JobInfo | 404
 //	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
 //	GET    /stats     server stats   -> 200 Stats
+//	GET    /healthz   liveness + load -> 200 HealthInfo
+//	POST   /jobs/poll batch job status -> 200 PollResponse
+//	POST   /withdraw  withdraw queued jobs for migration -> 200 WithdrawResponse
 //	GET    /metrics   Prometheus text exposition (when Config.Metrics set)
 //	GET    /spans     terminal job lifecycle spans (when Config.Spans set)
+//
+// /healthz, /jobs/poll, and /withdraw form the worker surface a shard
+// router drives over internal/cluster when this server runs as a separate
+// `pstld -worker` process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/poll", s.handlePoll)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /withdraw", s.handleWithdraw)
 	if s.metrics != nil {
 		mux.Handle("GET /metrics", MetricsHandler(s.metrics))
 	}
@@ -79,10 +132,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := Spec{
+		ID:       req.ID,
 		Kernel:   req.Kernel,
 		N:        req.N,
 		Tenant:   req.Tenant,
 		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	}
+	if req.DeadlineUnixMS > 0 {
+		spec.DeadlineAt = time.UnixMilli(req.DeadlineUnixMS)
 	}
 	j, err := s.Submit(spec)
 	if err != nil {
@@ -130,6 +187,60 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if !h.OK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	resp := PollResponse{Jobs: make([]JobInfo, 0, len(req.IDs))}
+	for _, id := range req.IDs {
+		if info, ok := s.Get(id); ok {
+			resp.Jobs = append(resp.Jobs, info)
+		} else {
+			resp.Missing = append(resp.Missing, id)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWithdraw(w http.ResponseWriter, r *http.Request) {
+	var req WithdrawRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Max < 1 {
+		writeError(w, http.StatusBadRequest, "max must be >= 1")
+		return
+	}
+	jobs := s.WithdrawQueued(req.Max)
+	resp := WithdrawResponse{Jobs: make([]WithdrawnJob, len(jobs))}
+	for i, j := range jobs {
+		spec := j.Spec()
+		wj := WithdrawnJob{
+			ID:     j.ID(),
+			Kernel: spec.Kernel,
+			N:      spec.N,
+			Tenant: spec.Tenant,
+		}
+		if !spec.DeadlineAt.IsZero() {
+			wj.DeadlineUnixMS = spec.DeadlineAt.UnixMilli()
+		}
+		resp.Jobs[i] = wj
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -163,6 +163,12 @@ func (s JobState) String() string {
 
 // Spec is one job submission.
 type Spec struct {
+	// ID, when non-empty, is the caller-assigned job identifier; the server
+	// adopts it instead of generating one, and a resubmission carrying an ID
+	// the server already holds returns the existing job rather than running
+	// a second copy. This is the dedup a retrying transport relies on: a
+	// submit that times out after the worker accepted is safe to retry.
+	ID string
 	// Kernel names the algorithm (see Kernels).
 	Kernel string
 	// N is the problem size in elements.
@@ -172,6 +178,11 @@ type Spec struct {
 	// Deadline, when positive, bounds the job's total time in the server
 	// (queue wait included); past it the job is canceled cooperatively.
 	Deadline time.Duration
+	// DeadlineAt, when non-zero, is the absolute deadline and takes
+	// precedence over Deadline. A router stamps it at first admission so
+	// transport hops, retries, and migrations never extend the budget; a
+	// DeadlineAt already in the past expires the job immediately.
+	DeadlineAt time.Time
 	// Span, when non-nil, is the job's lifecycle span. A shard router sets
 	// it at admission so phase stamps survive spill, migration, and
 	// crash-replay; a standalone server with Config.Spans creates one per
@@ -392,6 +403,15 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	// Idempotent resubmit: an ID the server already holds means the caller
+	// never saw our first accept (a transport retry). Return the existing
+	// job — before quota checks, so a retried accept is never re-rejected.
+	if spec.ID != "" {
+		if j := s.jobs[spec.ID]; j != nil {
+			s.mu.Unlock()
+			return j, nil
+		}
+	}
 	s.noteAdmissionLocked()
 	// Per-tenant quota: a flooding tenant is bounded before it can consume
 	// the shared admission budget.
@@ -403,14 +423,23 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		return nil, &SaturatedError{RetryAfter: retry}
 	}
 	s.nextID++
+	id := spec.ID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", s.nextID)
+	} else if n, ok := parseJobNum(id); ok && n > s.nextID {
+		// Adopted IDs in our own "job-N" format advance the counter so a
+		// later generated ID can never collide with one a router assigned.
+		s.nextID = n
+	}
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", s.nextID),
+		id:       id,
 		num:      s.nextID,
 		spec:     spec,
 		token:    &exec.Cancel{},
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
+	j.spec.ID = id
 	if j.spec.Span == nil && s.spans != nil {
 		j.spec.Span = obs.NewJobSpan(j.id, j.num, spec.Tenant, spec.Kernel, spec.N)
 	}
@@ -428,12 +457,35 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	j.spec.Span.Mark(obs.PhaseEnqueued)
 	s.accepted++
 	s.jobs[j.id] = j
-	if spec.Deadline > 0 {
-		j.timer = time.AfterFunc(spec.Deadline, func() { s.expire(j) })
+	// Resolve the deadline. An absolute DeadlineAt wins: it was fixed when
+	// the work first entered the system, so transport latency and re-
+	// placement hops shrink the remaining budget instead of resetting it. A
+	// relative Deadline is converted to DeadlineAt here for the same reason
+	// — a later migration carries the absolute stamp onward.
+	dl := spec.Deadline
+	if !spec.DeadlineAt.IsZero() {
+		dl = time.Until(spec.DeadlineAt)
+		if dl <= 0 {
+			dl = time.Nanosecond // already past: expire immediately
+		}
+	} else if dl > 0 {
+		j.spec.DeadlineAt = j.enqueued.Add(dl)
+	}
+	if dl > 0 {
+		j.timer = time.AfterFunc(dl, func() { s.expire(j) })
 	}
 	s.drainLocked()
 	s.mu.Unlock()
 	return j, nil
+}
+
+// parseJobNum extracts N from a "job-N" identifier.
+func parseJobNum(id string) (int64, bool) {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
 }
 
 // retryAfterLocked estimates when a queue slot will free: the backlog
@@ -482,6 +534,34 @@ func (s *Server) Load() float64 {
 		return occ
 	}
 	return s.emaAdm
+}
+
+// HealthInfo is the liveness snapshot served at GET /healthz: alive, plus
+// the load signals a shard router's placement and migration decisions read
+// between stats scrapes — one cheap RPC refreshes all of them.
+type HealthInfo struct {
+	OK       bool    `json:"ok"`
+	Queued   int     `json:"queued"`
+	QueueCap int     `json:"queue_cap"`
+	Running  int     `json:"running"`
+	Load     float64 `json:"load"`
+}
+
+// Health returns the server's liveness snapshot.
+func (s *Server) Health() HealthInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	load := float64(s.q.Len()) / float64(s.q.cap)
+	if s.emaAdm > load {
+		load = s.emaAdm
+	}
+	return HealthInfo{
+		OK:       !s.closed,
+		Queued:   s.q.Len(),
+		QueueCap: s.q.cap,
+		Running:  s.running,
+		Load:     load,
+	}
 }
 
 func (s *Server) tenant(name string) *tenantCounts {

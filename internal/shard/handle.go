@@ -1,0 +1,94 @@
+package shard
+
+import "pstlbench/internal/serve"
+
+// JobHandle is the router's view of one job incarnation on one shard. It
+// is comparable: the router's incarnation check (`j.sj != sj`) relies on
+// two handles for the same incarnation comparing equal.
+type JobHandle interface {
+	// ID returns the job identifier — the router-assigned ID, since the
+	// router stamps Spec.ID before placement.
+	ID() string
+	// Done is closed when the job reaches a terminal state on this shard —
+	// including "the shard lost it" (worker death, migration withdrawal).
+	Done() <-chan struct{}
+}
+
+// ShardHandle abstracts one shard behind the router: an in-process
+// serve.Server (Local) or a worker process reached over a transport
+// (cluster.RemoteShard). The router drives placement, migration, health
+// probing, and dead-shard recovery exclusively through this surface, so
+// local and remote shards mix freely behind one ring.
+//
+// Contract:
+//   - Submit must deduplicate on Spec.ID: a resubmit of an ID the shard
+//     already holds returns a handle to the existing job, never a copy.
+//   - Info on a terminal handle must return the terminal snapshot without
+//     blocking or touching the network.
+//   - Withdraw returns the withdrawn job IDs only; the router resubmits
+//     from its own authoritative Spec (span and absolute deadline intact).
+//   - Load/Queued/QueueCap are placement signals; a remote handle serves
+//     them from its last heartbeat rather than a per-call RPC.
+//   - Close must release every outstanding JobHandle (close its Done); the
+//     router closes a handle after declaring its shard dead.
+type ShardHandle interface {
+	Submit(spec serve.Spec) (JobHandle, error)
+	Info(h JobHandle) serve.JobInfo
+	Cancel(id string) (serve.JobInfo, error)
+	Withdraw(max int) []string
+	Load() float64
+	Queued() int
+	QueueCap() int
+	Stats() serve.Stats
+	// Ping probes liveness — the router's heartbeat. nil means healthy; a
+	// remote handle refreshes its cached load signals on success.
+	Ping() error
+	Close()
+}
+
+// Local adapts an in-process serve.Server to the ShardHandle surface.
+type Local struct{ s *serve.Server }
+
+// NewLocal wraps s as a ShardHandle.
+func NewLocal(s *serve.Server) *Local { return &Local{s: s} }
+
+// Server returns the wrapped in-process server.
+func (l *Local) Server() *serve.Server { return l.s }
+
+// localJob is a value type so two wraps of the same *serve.Job compare
+// equal as JobHandles.
+type localJob struct{ sj *serve.Job }
+
+func (j localJob) ID() string            { return j.sj.ID() }
+func (j localJob) Done() <-chan struct{} { return j.sj.Done() }
+
+func (l *Local) Submit(spec serve.Spec) (JobHandle, error) {
+	sj, err := l.s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return localJob{sj}, nil
+}
+
+func (l *Local) Info(h JobHandle) serve.JobInfo { return l.s.Info(h.(localJob).sj) }
+
+func (l *Local) Cancel(id string) (serve.JobInfo, error) { return l.s.Cancel(id) }
+
+func (l *Local) Withdraw(max int) []string {
+	jobs := l.s.WithdrawQueued(max)
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID()
+	}
+	return ids
+}
+
+func (l *Local) Load() float64      { return l.s.Load() }
+func (l *Local) Queued() int        { return l.s.Queued() }
+func (l *Local) QueueCap() int      { return l.s.QueueCap() }
+func (l *Local) Stats() serve.Stats { return l.s.Stats() }
+
+// Ping never fails in-process: a local shard shares the router's fate.
+func (l *Local) Ping() error { return nil }
+
+func (l *Local) Close() { l.s.Close() }

@@ -24,6 +24,7 @@ type errorBody struct {
 //	GET    /jobs/{id} job status     -> 200 JobInfo | 404
 //	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
 //	GET    /stats     router stats   -> 200 Stats
+//	POST   /cluster/join  add a worker to the ring -> 200 (when Config.Join set)
 //	GET    /metrics   Prometheus text exposition (when Config.Metrics set)
 //	GET    /spans     terminal job lifecycle spans (when Config.Spans set)
 func (r *Router) Handler() http.Handler {
@@ -32,6 +33,9 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", r.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", r.handleCancel)
 	mux.HandleFunc("GET /stats", r.handleStats)
+	if r.cfg.Join != nil {
+		mux.HandleFunc("POST /cluster/join", r.handleJoin)
+	}
 	if r.cfg.Metrics != nil {
 		mux.Handle("GET /metrics", serve.MetricsHandler(r.cfg.Metrics))
 	}
@@ -97,6 +101,63 @@ func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+// JoinRequest is the POST /cluster/join body: the base URL the router
+// should dial the joining worker at.
+type JoinRequest struct {
+	URL string `json:"url"`
+}
+
+// JoinResponse acknowledges a join with the new member's shard index.
+type JoinResponse struct {
+	Shard int `json:"shard"`
+}
+
+func (r *Router) handleJoin(w http.ResponseWriter, req *http.Request) {
+	var body JoinRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if body.URL == "" {
+		writeError(w, http.StatusBadRequest, "url required")
+		return
+	}
+	r.joinMu.Lock()
+	defer r.joinMu.Unlock()
+	// Idempotent join: a worker whose first join succeeded but whose
+	// response was lost retries — it must get its existing membership
+	// back, not a duplicate ring member.
+	r.mu.Lock()
+	if i, ok := r.joined[body.URL]; ok {
+		r.mu.Unlock()
+		writeJSON(w, http.StatusOK, JoinResponse{Shard: i})
+		return
+	}
+	r.mu.Unlock()
+	h, err := r.cfg.Join(body.URL)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("cannot reach worker: %v", err))
+		return
+	}
+	// Probe before committing: a ring member that never answered anything
+	// would immediately walk the suspect->dead path and churn the ring.
+	if err := h.Ping(); err != nil {
+		h.Close()
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("worker not healthy: %v", err))
+		return
+	}
+	i, err := r.AddShard(h)
+	if err != nil {
+		h.Close()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	r.mu.Lock()
+	r.joined[body.URL] = i
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, JoinResponse{Shard: i})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -41,11 +41,25 @@ func NewRing(shards, replicas int) *Ring {
 	if shards < 1 {
 		shards = 1
 	}
+	members := make([]int, shards)
+	for i := range members {
+		members[i] = i
+	}
+	return NewRingOf(members, replicas)
+}
+
+// NewRingOf builds a ring over an explicit member set. Point names are
+// keyed by member identity, not position, so removing a dead member or
+// appending a new one leaves every surviving member's points in place —
+// only the changed member's arc remaps (the ~1/(N+1) fraction). A router
+// with non-contiguous live shards (one died) rebuilds the ring through
+// this form.
+func NewRingOf(members []int, replicas int) *Ring {
 	if replicas <= 0 {
 		replicas = 64
 	}
-	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
-	for s := 0; s < shards; s++ {
+	r := &Ring{shards: len(members), points: make([]ringPoint, 0, len(members)*replicas)}
+	for _, s := range members {
 		for v := 0; v < replicas; v++ {
 			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d/%d", s, v)), shard: s})
 		}
@@ -60,6 +74,9 @@ func (r *Ring) Shards() int { return r.shards }
 // Shard returns tenant's home shard: the owner of the first ring point
 // clockwise from the tenant's hash.
 func (r *Ring) Shard(tenant string) int {
+	if len(r.points) == 0 {
+		return -1 // every member dead: nothing to place on
+	}
 	h := hash64(tenant)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {

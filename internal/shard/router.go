@@ -51,6 +51,24 @@ type Config struct {
 	// most this many recovered terminal records.
 	RetainDone int
 
+	// Handles, when non-empty, supplies the shard tier directly — remote
+	// workers dialed through internal/cluster, or any mix of local and
+	// remote handles — and Shards/Serve are not used for construction.
+	Handles []ShardHandle
+	// Join, when non-nil, enables live ring growth over HTTP: the router's
+	// handler accepts POST /cluster/join {"url": ...}, dials the worker
+	// through this constructor, and adds it behind the ring. The
+	// indirection exists because this package cannot import the transport
+	// (internal/cluster imports this package for the handle interface).
+	Join func(url string) (ShardHandle, error)
+	// HeartbeatEvery paces the per-shard health probes (default 250ms;
+	// < 0 disables the health plane — local-only tiers don't need one).
+	// SuspectAfter and DeadAfter are the consecutive-failure thresholds of
+	// the healthy -> suspect -> dead state machine (defaults 2 and 5).
+	HeartbeatEvery time.Duration
+	SuspectAfter   int
+	DeadAfter      int
+
 	// Metrics, when non-nil, receives the tier's Prometheus instruments:
 	// router-level families (shard count, per-shard load, spill/migration/
 	// replay counters, backlog, joblog fsync latency and group-commit size)
@@ -83,6 +101,15 @@ func (c Config) withDefaults() Config {
 	if c.RetainDone == 0 {
 		c.RetainDone = 1024
 	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 5
+	}
 	return c
 }
 
@@ -96,8 +123,8 @@ type Job struct {
 	enq  time.Time
 
 	// Guarded by the router lock:
-	shard    int        // current shard, -1 while parked in the backlog
-	sj       *serve.Job // current shard-level incarnation, nil in backlog
+	shard    int       // current shard, -1 while parked in the backlog
+	sj       JobHandle // current shard-level incarnation, nil in backlog
 	terminal bool
 	info     JobInfo // terminal snapshot
 	done     chan struct{}
@@ -117,56 +144,80 @@ type JobInfo struct {
 	Shard int `json:"shard"`
 }
 
-// Router fronts N in-process shards: consistent-hash placement with
-// load-aware spill, cross-shard migration of queued jobs, and (with a job
+// Router fronts N shards — in-process serve.Servers, separate-process
+// workers behind cluster handles, or a mix: consistent-hash placement with
+// load-aware spill, cross-shard migration of queued jobs, health-checked
+// failover with dead-shard re-placement, live ring growth, and (with a job
 // log) crash-safe replay. All client traffic goes through the router; it
 // is the only submitter to its shards, which is what makes the
 // withdraw-and-resubmit migration race-free.
 type Router struct {
-	cfg    Config
-	shards []*serve.Server
-	ring   *Ring
-	log    *Log
+	cfg  Config
+	ring *Ring
+	log  *Log
 
 	mu       sync.Mutex
+	shards   []ShardHandle  // append-only; indices are stable member IDs
+	health   []*shardHealth // parallel to shards
 	jobs     map[string]*Job
-	byShard  map[*serve.Job]*Job
+	byShard  map[JobHandle]*Job
 	backlog  []*Job // replayed jobs awaiting shard admission
 	doneRing []string
+	joined   map[string]int // worker URL -> shard index, for idempotent joins
 	nextID   int64
 	closed   bool
 
 	accepted, rejected, completed, canceled int64
 	spills, migrations, replayed, recovered int64
+	replaced, deaths                        int64
+
+	// joinMu serializes /cluster/join handling end to end (dial, probe,
+	// AddShard), so two concurrent joins of one URL cannot both pass the
+	// dedup check. Never held together with mu.
+	joinMu sync.Mutex
 
 	stop    chan struct{}
 	loopWG  sync.WaitGroup
 	watchWG sync.WaitGroup
 }
 
-// New builds the shard tier: cfg.Shards servers on their own pools, the
-// placement ring, and — when cfg.LogPath is set — the job log, replaying
-// any records a previous incarnation left behind before accepting traffic.
+// New builds the shard tier — cfg.Handles when supplied (remote or mixed
+// shards), else cfg.Shards in-process servers on their own pools — plus
+// the placement ring, the health plane, and, when cfg.LogPath is set, the
+// job log, replaying any records a previous incarnation left behind
+// before accepting traffic.
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Serve.Pool != nil {
 		return nil, errors.New("shard: Config.Serve.Pool must be nil; each shard owns its pool")
 	}
+	n := cfg.Shards
+	if len(cfg.Handles) > 0 {
+		n = len(cfg.Handles)
+	}
 	r := &Router{
 		cfg:     cfg,
-		ring:    NewRing(cfg.Shards, cfg.Replicas),
+		ring:    NewRing(n, cfg.Replicas),
 		jobs:    make(map[string]*Job),
-		byShard: make(map[*serve.Job]*Job),
+		byShard: make(map[JobHandle]*Job),
+		joined:  make(map[string]int),
 		stop:    make(chan struct{}),
 	}
-	for i := 0; i < cfg.Shards; i++ {
-		sc := cfg.Serve
-		sc.Metrics = cfg.Metrics
-		sc.Spans = cfg.Spans
-		if cfg.Metrics != nil {
-			sc.MetricsLabels = append([]string{"shard", strconv.Itoa(i)}, cfg.Serve.MetricsLabels...)
+	if len(cfg.Handles) > 0 {
+		r.shards = append(r.shards, cfg.Handles...)
+	} else {
+		for i := 0; i < cfg.Shards; i++ {
+			sc := cfg.Serve
+			sc.Metrics = cfg.Metrics
+			sc.Spans = cfg.Spans
+			if cfg.Metrics != nil {
+				sc.MetricsLabels = append([]string{"shard", strconv.Itoa(i)}, cfg.Serve.MetricsLabels...)
+			}
+			r.shards = append(r.shards, NewLocal(serve.New(sc)))
 		}
-		r.shards = append(r.shards, serve.New(sc))
+	}
+	for i := range r.shards {
+		r.health = append(r.health, r.newShardHealthLocked(i))
 	}
 	r.initMetrics(cfg.Metrics)
 	if cfg.LogPath != "" {
@@ -194,6 +245,12 @@ func New(cfg Config) (*Router, error) {
 		r.loopWG.Add(1)
 		go r.rebalanceLoop(cfg.RebalanceEvery)
 	}
+	if cfg.HeartbeatEvery > 0 {
+		for i := range r.shards {
+			r.loopWG.Add(1)
+			go r.healthLoop(i)
+		}
+	}
 	return r, nil
 }
 
@@ -205,11 +262,9 @@ func (r *Router) initMetrics(m *obs.Registry) {
 		return
 	}
 	m.GaugeFunc("pstld_shards", "Shard servers behind the router.",
-		func() float64 { return float64(len(r.shards)) })
+		func() float64 { r.mu.Lock(); defer r.mu.Unlock(); return float64(len(r.shards)) })
 	for i := range r.shards {
-		s := r.shards[i]
-		m.GaugeFunc("pstld_shard_load", "Per-shard admission pressure (see serve.Server.Load).",
-			s.Load, "shard", strconv.Itoa(i))
+		r.registerShardMetrics(i)
 	}
 	m.GaugeFunc("pstld_backlog", "Replayed jobs still awaiting shard admission.",
 		func() float64 { r.mu.Lock(); defer r.mu.Unlock(); return float64(len(r.backlog)) })
@@ -224,13 +279,48 @@ func (r *Router) initMetrics(m *obs.Registry) {
 	ctr("pstld_migrations_total", "Queued jobs moved between shards by the rebalancer.", func() int64 { return r.migrations })
 	ctr("pstld_replayed_total", "Jobs resubmitted from the job log at startup.", func() int64 { return r.replayed })
 	ctr("pstld_recovered_total", "Terminal records recovered from the job log.", func() int64 { return r.recovered })
+	ctr("pstld_cluster_replaced_total", "Jobs re-placed off dead or lost shards.", func() int64 { return r.replaced })
+	ctr("pstld_cluster_shard_deaths_total", "Shards declared dead by the health plane.", func() int64 { return r.deaths })
 }
 
-// Shard returns shard i's server — the per-shard stats and registry hook.
-func (r *Router) Shard(i int) *serve.Server { return r.shards[i] }
+// registerShardMetrics registers shard i's load gauge. Safe under r.mu:
+// the registry evaluates pull-time closures without holding its own lock,
+// and registration itself never calls back into the router.
+func (r *Router) registerShardMetrics(i int) {
+	m := r.cfg.Metrics
+	if m == nil {
+		return
+	}
+	h := r.shards[i]
+	m.GaugeFunc("pstld_shard_load", "Per-shard admission pressure (see serve.Server.Load).",
+		h.Load, "shard", strconv.Itoa(i))
+}
 
-// Shards returns the shard count.
-func (r *Router) Shards() int { return len(r.shards) }
+// Shard returns shard i's in-process server, or nil when shard i is
+// remote — the per-shard stats and registry hook for local tiers.
+func (r *Router) Shard(i int) *serve.Server {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.shards[i].(*Local); ok {
+		return l.Server()
+	}
+	return nil
+}
+
+// Handle returns shard i's ShardHandle.
+func (r *Router) Handle(i int) ShardHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shards[i]
+}
+
+// Shards returns the shard count (dead members included — indices are
+// stable member IDs).
+func (r *Router) Shards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.shards)
+}
 
 // Submit admits a job through consistent-hash placement with load-aware
 // overflow. Error contract matches serve.Server.Submit.
@@ -257,6 +347,16 @@ func (r *Router) Submit(spec serve.Spec) (*Job, error) {
 		enq:  time.Now(),
 		done: make(chan struct{}),
 	}
+	// The router owns job identity: the shard-level job carries the router
+	// ID, which is what lets a transport retry dedupe on the worker and a
+	// withdrawn ID map straight back to this record.
+	j.spec.ID = j.id
+	// Fix the deadline in absolute terms at first admission, so spills,
+	// migrations, and dead-shard re-placements inherit the remaining
+	// budget instead of restarting it.
+	if j.spec.DeadlineAt.IsZero() && j.spec.Deadline > 0 {
+		j.spec.DeadlineAt = j.enq.Add(j.spec.Deadline)
+	}
 	if r.cfg.Spans != nil {
 		// Router-owned span: the stamps travel with the Spec through spill,
 		// migration, and (via the log record's Phases) crash-replay.
@@ -281,26 +381,33 @@ func (r *Router) Submit(spec serve.Spec) (*Job, error) {
 	return j, nil
 }
 
+// errNoShards reports a tier whose live members are all gone.
+var errNoShards = errors.New("shard: no live shards")
+
 // placeLocked picks a shard and submits j: the consistent-hash home
-// first, spilled to the least-loaded shard when the home's admission EMA
-// saturates, with one more attempt on the least-loaded shard when the
-// first choice rejects outright.
+// first, spilled to the least-loaded live shard when the home is suspect
+// or its admission EMA saturates, with one more attempt on the least-
+// loaded shard when the first choice rejects — a saturated queue or, for
+// a remote shard, a transport failure the health plane has not yet
+// caught.
 func (r *Router) placeLocked(j *Job) error {
 	home := r.ring.Shard(j.spec.Tenant)
+	if home < 0 {
+		return errNoShards
+	}
 	target := home
-	if r.shards[home].Load() >= r.cfg.SpillThreshold {
-		if ll := r.leastLoadedLocked(); ll != home {
+	if r.health[home].state != Healthy || r.shards[home].Load() >= r.cfg.SpillThreshold {
+		if ll := r.leastLoadedLocked(); ll >= 0 && ll != home {
 			target = ll
 		}
 	}
 	sj, err := r.shards[target].Submit(j.spec)
 	if err != nil {
-		var sat *serve.SaturatedError
-		if !errors.As(err, &sat) {
+		if !retriablePlacement(err) {
 			return err
 		}
 		alt := r.leastLoadedLocked()
-		if alt == target {
+		if alt < 0 || alt == target {
 			return err
 		}
 		if sj, err = r.shards[alt].Submit(j.spec); err != nil {
@@ -318,11 +425,36 @@ func (r *Router) placeLocked(j *Job) error {
 	return nil
 }
 
+// retriablePlacement reports whether a submit failure is worth one retry
+// on another shard: saturation always, and any non-spec failure (a remote
+// shard's transport error) — an invalid spec would fail identically
+// everywhere, but the router validates specs before placing, so remaining
+// errors are shard-local.
+func retriablePlacement(err error) bool {
+	var sat *serve.SaturatedError
+	if errors.As(err, &sat) {
+		return true
+	}
+	return !errors.Is(err, serve.ErrClosed)
+}
+
+// leastLoadedLocked returns the least-loaded healthy shard, falling back
+// to suspect shards when no healthy one exists, and -1 when every member
+// is dead.
 func (r *Router) leastLoadedLocked() int {
-	best, bestL := 0, r.shards[0].Load()
-	for i := 1; i < len(r.shards); i++ {
-		if l := r.shards[i].Load(); l < bestL {
-			best, bestL = i, l
+	best := -1
+	var bestL float64
+	for _, want := range []HealthState{Healthy, Suspect} {
+		for i := range r.shards {
+			if r.health[i].state != want {
+				continue
+			}
+			if l := r.shards[i].Load(); best < 0 || l < bestL {
+				best, bestL = i, l
+			}
+		}
+		if best >= 0 {
+			return best
 		}
 	}
 	return best
@@ -336,17 +468,35 @@ func (r *Router) watchLocked(j *Job) {
 	go r.watch(j, j.sj, j.shard)
 }
 
-func (r *Router) watch(j *Job, sj *serve.Job, shard int) {
+func (r *Router) watch(j *Job, sj JobHandle, shard int) {
 	defer r.watchWG.Done()
 	<-sj.Done()
-	info := r.shards[shard].Info(sj)
+	r.mu.Lock()
+	h := r.shards[shard]
+	r.mu.Unlock()
+	info := h.Info(sj)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if j.sj != sj {
-		return // migrated: a newer incarnation owns this job now
+		return // migrated or re-placed: a newer incarnation owns this job
 	}
 	delete(r.byShard, sj)
 	info.ID = j.id
+	// A shard that lost the job (worker restart, dead-shard teardown) or
+	// shut down under a live router hands the job back, not a terminal
+	// state: the router re-places it on a surviving shard. The exactly-once
+	// guarantee holds because only the router delivers terminal states.
+	if !r.closed && info.State == "canceled" && (info.Reason == "lost" || info.Reason == "shutdown") {
+		j.sj, j.shard = nil, -1
+		j.spec.Span.Mark(obs.PhaseMigrated)
+		r.replaced++
+		if err := r.placeLocked(j); err != nil {
+			r.backlog = append(r.backlog, j)
+		} else {
+			r.watchLocked(j)
+		}
+		return
+	}
 	j.terminal = true
 	j.info = JobInfo{JobInfo: info, Shard: shard}
 	switch {
@@ -406,9 +556,9 @@ func (r *Router) Get(id string) (JobInfo, bool) {
 		r.mu.Unlock()
 		return info, true
 	}
-	sj, shard := j.sj, j.shard
+	sj, shard, h := j.sj, j.shard, r.shards[j.shard]
 	r.mu.Unlock()
-	info := r.shards[shard].Info(sj)
+	info := h.Info(sj)
 	info.ID = id
 	return JobInfo{JobInfo: info, Shard: shard}, true
 }
@@ -451,9 +601,9 @@ func (r *Router) Cancel(id string) (JobInfo, error) {
 		return info, nil
 	}
 	r.appendLocked(Record{T: "cancel", ID: id})
-	sj, shard := j.sj, j.shard
+	sj, shard, h := j.sj, j.shard, r.shards[j.shard]
 	r.mu.Unlock()
-	info, err := r.shards[shard].Cancel(sj.ID())
+	info, err := h.Cancel(sj.ID())
 	if err != nil {
 		return JobInfo{}, err
 	}
@@ -500,7 +650,7 @@ func (r *Router) replayLocked(recs []Record) {
 	for _, id := range order {
 		rec := submits[id]
 		spec := serve.Spec{
-			Kernel: rec.Kernel, N: rec.N, Tenant: rec.Tenant,
+			ID: id, Kernel: rec.Kernel, N: rec.N, Tenant: rec.Tenant,
 			Deadline: time.Duration(rec.DeadlineMS) * time.Millisecond,
 		}
 		j := &Job{id: id, seq: rec.Seq, spec: spec, enq: time.Now(), shard: -1, done: make(chan struct{})}
@@ -577,18 +727,21 @@ func (r *Router) Rebalance() {
 		return
 	}
 	r.drainBacklogLocked()
-	hot, cold := 0, 0
-	hotL, coldL := r.shards[0].Load(), r.shards[0].Load()
-	for i := 1; i < len(r.shards); i++ {
+	hot, cold := -1, -1
+	var hotL, coldL float64
+	for i := range r.shards {
+		if r.health[i].state == Dead {
+			continue
+		}
 		l := r.shards[i].Load()
-		if l > hotL {
+		if hot < 0 || l > hotL {
 			hot, hotL = i, l
 		}
-		if l < coldL {
+		if cold < 0 || l < coldL {
 			cold, coldL = i, l
 		}
 	}
-	if hot == cold || hotL < r.cfg.MigrateThreshold || coldL > hotL/2 {
+	if hot < 0 || hot == cold || hotL < r.cfg.MigrateThreshold || coldL > hotL/2 {
 		return
 	}
 	// The router is the only submitter, so the room observed here cannot
@@ -601,11 +754,22 @@ func (r *Router) Rebalance() {
 	if batch <= 0 {
 		return
 	}
-	for _, sj := range r.shards[hot].WithdrawQueued(batch) {
-		j := r.byShard[sj]
-		delete(r.byShard, sj)
-		if j == nil {
+	// For a remote hot shard, Withdraw is an RPC under the router lock —
+	// bounded by the client's per-request timeout, and deadlock-free
+	// because handles never call back into the router.
+	_, hotLocal := r.shards[hot].(*Local)
+	for _, id := range r.shards[hot].Withdraw(batch) {
+		j := r.jobs[id]
+		if j == nil || j.terminal {
 			continue
+		}
+		if j.sj != nil {
+			delete(r.byShard, j.sj)
+		}
+		if !hotLocal {
+			// A local withdraw marks the shared span inside serve; a remote
+			// worker's span is its own copy, so stamp the router's here.
+			j.spec.Span.Mark(obs.PhaseMigrated)
 		}
 		nsj, err := r.shards[cold].Submit(j.spec)
 		target := cold
@@ -646,6 +810,8 @@ func (r *Router) drainBacklogLocked() {
 // ShardStats is one shard's slice of the router stats.
 type ShardStats struct {
 	Shard int `json:"shard"`
+	// Health is the router's view of the shard: healthy, suspect, or dead.
+	Health string `json:"health"`
 	serve.Stats
 }
 
@@ -665,10 +831,16 @@ type Stats struct {
 	// Replayed counts jobs resubmitted from the log at startup; Recovered
 	// counts terminal records loaded from it; Backlog is the replay
 	// overflow still waiting for shard admission.
-	Replayed  int64        `json:"replayed"`
-	Recovered int64        `json:"recovered"`
-	Backlog   int          `json:"backlog"`
-	PerShard  []ShardStats `json:"per_shard"`
+	Replayed  int64 `json:"replayed"`
+	Recovered int64 `json:"recovered"`
+	Backlog   int   `json:"backlog"`
+	// Replaced counts jobs re-placed off dead or lost shards; Deaths
+	// counts shards the health plane declared dead; HealthyShards is the
+	// current live membership.
+	Replaced      int64        `json:"replaced"`
+	Deaths        int64        `json:"shard_deaths"`
+	HealthyShards int          `json:"healthy_shards"`
+	PerShard      []ShardStats `json:"per_shard"`
 }
 
 // Stats returns a consistent snapshot of the router counters plus each
@@ -684,12 +856,23 @@ func (r *Router) Stats() Stats {
 		Canceled:  r.canceled,
 		Spills:    r.spills, Migrations: r.migrations,
 		Replayed: r.replayed, Recovered: r.recovered,
-		Backlog: len(r.backlog),
+		Backlog:  len(r.backlog),
+		Replaced: r.replaced, Deaths: r.deaths,
+	}
+	shards := append([]ShardHandle(nil), r.shards...)
+	states := make([]HealthState, len(shards))
+	for i := range shards {
+		states[i] = r.health[i].state
+		if states[i] == Healthy {
+			st.HealthyShards++
+		}
 	}
 	r.mu.Unlock()
-	// Shard stats take each shard's own lock; collect them outside ours.
-	for i, s := range r.shards {
-		st.PerShard = append(st.PerShard, ShardStats{Shard: i, Stats: s.Stats()})
+	// Shard stats take each shard's own lock (or an RPC for a remote
+	// shard, which serves a cached snapshot once unreachable); collect
+	// them outside ours. Dead shards report their last known stats.
+	for i, s := range shards {
+		st.PerShard = append(st.PerShard, ShardStats{Shard: i, Health: states[i].String(), Stats: s.Stats()})
 	}
 	st.Discipline = st.PerShard[0].Discipline
 	return st
@@ -719,9 +902,10 @@ func (r *Router) Close() {
 		r.canceled++
 	}
 	r.backlog = nil
+	shards := append([]ShardHandle(nil), r.shards...)
 	r.mu.Unlock()
 	r.loopWG.Wait()
-	for _, s := range r.shards {
+	for _, s := range shards {
 		s.Close()
 	}
 	r.watchWG.Wait()
@@ -745,9 +929,10 @@ func (r *Router) Kill() {
 	if r.log != nil {
 		r.log.Kill()
 	}
+	shards := append([]ShardHandle(nil), r.shards...)
 	r.mu.Unlock()
 	r.loopWG.Wait()
-	for _, s := range r.shards {
+	for _, s := range shards {
 		s.Close()
 	}
 	r.watchWG.Wait()
