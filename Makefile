@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench fusion serve shard obs cluster loadgen check
+.PHONY: all vet build test race bench fusion serve shard obs cluster stream loadgen check
 
 all: check
 
@@ -22,9 +22,10 @@ test:
 # cancels against a mid-backlog kill and log replay, the cluster transport
 # racing retries, polls, and heartbeats against abrupt worker death, and
 # the observability layer whose atomic instruments those servers update
-# concurrently.
+# concurrently, and the streaming plane racing pushes, window closes, and
+# job completions against flush.
 race:
-	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/... ./internal/cluster/... ./internal/obs/...
+	$(GO) test -race ./internal/native/... ./internal/core/... ./internal/pipeline/... ./internal/trace/... ./internal/simexec/... ./internal/tune/... ./internal/serve/... ./internal/shard/... ./internal/cluster/... ./internal/obs/... ./internal/flow/...
 
 bench:
 	$(GO) test -run 'xxx' -bench 'SchedulerOverhead' -benchtime 1000x .
@@ -56,6 +57,16 @@ shard:
 cluster:
 	$(GO) test ./internal/cluster/
 	$(GO) run ./cmd/pstlreport -exp ext-cluster -scale 4
+
+# Streaming plane: the flow package's replay-audit, backpressure, and
+# shared-pool tests, then the full ext-stream report (exact comparison of
+# a live stream against the sequential oracle, the 4x-burst backpressure
+# bound, and the bursty-stream-beside-batch-tenant run) and a short live
+# pstlstream run.
+stream:
+	$(GO) test ./internal/flow/
+	$(GO) run ./cmd/pstlreport -exp ext-stream -scale 4
+	$(GO) run ./cmd/pstlstream -replay 20000 -seed 7
 
 # Observability: the disabled-path and enabled-path instrument benchmarks,
 # then the full ext-obs report (span-based p99 attribution on a hot shard

@@ -9,10 +9,17 @@
 //   - native: measure this library's real parallel algorithms on the host
 //     with a chosen scheduling strategy and worker count.
 //
+// Two auxiliary modes run the STREAM bandwidth benchmark (internal/stream)
+// that calibrates the memory-bound expectations of Table 2's last row:
+// stream-sim prints the simulated Mach A/B/C row, stream-native sweeps the
+// host with 1..GOMAXPROCS workers. (These lived in cmd/pstlstream before
+// that command became the streaming-plane driver.)
+//
 // Examples:
 //
 //	pstlbench -mode sim -machine a -backend GCC-TBB,NVC-OMP -algo for_each -minexp 10 -maxexp 24
 //	pstlbench -mode native -strategy stealing -workers 8 -algo reduce,sort -maxexp 20
+//	pstlbench -mode stream-native -maxexp 24
 package main
 
 import (
@@ -44,7 +51,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "sim", "sim (simulated machines) or native (this host)")
+		mode      = flag.String("mode", "sim", "sim (simulated machines), native (this host), stream-sim, or stream-native (STREAM bandwidth)")
 		machName  = flag.String("machine", "a", "simulated machine: a, b, c, d, e")
 		backends  = flag.String("backend", "all", "comma-separated backend IDs (GCC-SEQ, GCC-TBB, GCC-GNU, GCC-HPX, ICC-TBB, NVC-OMP, NVC-CUDA) or 'all'")
 		algos     = flag.String("algo", "all", "comma-separated kernels, 'all' (the five studied), or 'extended' (the full native set)")
@@ -66,6 +73,17 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or ui.perfetto.dev; summarize with pstlreport -trace)")
 	)
 	flag.Parse()
+
+	// The STREAM bandwidth modes are standalone: no suite, no filters.
+	switch *mode {
+	case "stream-sim":
+		runStreamSim()
+		return
+	case "stream-native":
+		// -maxexp sets the array size (2^maxexp elements, 3 arrays x 8 B).
+		runStreamNative(1 << *maxExp)
+		return
+	}
 
 	var re *regexp.Regexp
 	if *filter != "" {

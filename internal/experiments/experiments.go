@@ -97,6 +97,7 @@ func Index() []struct {
 		{"ext-shard", ExtensionShard},
 		{"ext-obs", ExtensionObs},
 		{"ext-cluster", ExtensionCluster},
+		{"ext-stream", ExtensionStream},
 		{"abl-grain", AblationGrain},
 		{"abl-contention", AblationContention},
 		{"abl-hpx", AblationCheapFutures},

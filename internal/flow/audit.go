@@ -1,0 +1,145 @@
+package flow
+
+import (
+	"math"
+	"sort"
+
+	"pstlbench/internal/core"
+)
+
+// AuditResult is the oracle's expectation for replaying a finite trace
+// through a stream: exact event and window accounting plus the per-window
+// checksums, computed by an independent sequential implementation of the
+// windowing, watermark, and backpressure rules. The ext-stream experiment
+// and the accounting tests replay the same trace through a live Stream
+// and require equality.
+type AuditResult struct {
+	Accepted      int64
+	Late          int64
+	Paused        int64
+	DroppedEvents int64
+	Assigned      int64
+	WindowsClosed int64 // including the final flush
+	WindowsEmpty  int64
+	PeakBuffered  int
+	// WindowEvents and Checksums map window start (Unix ns) to the event
+	// count and operator checksum of each closed NON-EMPTY window.
+	WindowEvents map[int64]int
+	Checksums    map[int64]float64
+	// ChecksumTotal is the sum over Checksums — comparable to
+	// StreamStats.Checksum when every window job completed.
+	ChecksumTotal float64
+}
+
+// auditWin mirrors openWindow in the model.
+type auditWin struct {
+	start, end int64
+	events     []Event
+}
+
+// Audit replays trace sequentially through the reference model of cfg's
+// stream semantics and returns the exact expected accounting. The model
+// is deliberately written from the rules, not shared with Stream: plain
+// sorted-slice bookkeeping, sequential operator evaluation (zero
+// core.Policy), no goroutines — so agreement is evidence the concurrent
+// implementation enforces the same semantics.
+func Audit(cfg StreamConfig, trace []Event) (AuditResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return AuditResult{}, err
+	}
+	res := AuditResult{
+		WindowEvents: make(map[int64]int),
+		Checksums:    make(map[int64]float64),
+	}
+	var wins []*auditWin // sorted by start
+	buffered := 0
+	maxTS := int64(math.MinInt64)
+	seen := false
+	size, slide := int64(cfg.Window.Size), int64(cfg.Window.Slide)
+
+	watermark := func() int64 {
+		if !seen {
+			return math.MinInt64
+		}
+		return maxTS - int64(cfg.Window.Lateness)
+	}
+	closeReady := func(wm int64, flush bool) {
+		for len(wins) > 0 {
+			w := wins[0]
+			if !flush && w.end > wm {
+				return
+			}
+			wins = wins[1:]
+			buffered -= len(w.events)
+			res.WindowsClosed++
+			if len(w.events) == 0 {
+				res.WindowsEmpty++
+				continue
+			}
+			res.WindowEvents[w.start] = len(w.events)
+			sum := cfg.Op.Apply(core.Policy{}, w.events)
+			res.Checksums[w.start] = sum
+			res.ChecksumTotal += sum
+		}
+	}
+
+	for _, ev := range trace {
+		wm := watermark()
+		// The event's windows, oldest first, skipping closed ones.
+		var starts []int64
+		first := floorDiv(ev.TS, slide) * slide
+		for st := first; st > ev.TS-size; st -= slide {
+			if st+size > wm {
+				starts = append(starts, st)
+			}
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		if len(starts) == 0 {
+			res.Late++
+			continue
+		}
+		if buffered+len(starts) > cfg.BufferCap {
+			if cfg.Policy == Pause {
+				res.Paused++
+				continue
+			}
+			// Drop-oldest: evict from the front of the oldest windows.
+			need := buffered + len(starts) - cfg.BufferCap
+			for _, w := range wins {
+				if need <= 0 {
+					break
+				}
+				d := len(w.events)
+				if d > need {
+					d = need
+				}
+				w.events = w.events[d:]
+				buffered -= d
+				res.DroppedEvents += int64(d)
+				need -= d
+			}
+		}
+		for _, st := range starts {
+			i := sort.Search(len(wins), func(i int) bool { return wins[i].start >= st })
+			if i == len(wins) || wins[i].start != st {
+				wins = append(wins, nil)
+				copy(wins[i+1:], wins[i:])
+				wins[i] = &auditWin{start: st, end: st + size}
+			}
+			wins[i].events = append(wins[i].events, ev)
+		}
+		buffered += len(starts)
+		res.Assigned += int64(len(starts))
+		res.Accepted++
+		if !seen || ev.TS > maxTS {
+			maxTS, seen = ev.TS, true
+		}
+		if buffered > res.PeakBuffered {
+			res.PeakBuffered = buffered
+		}
+		closeReady(watermark(), false)
+	}
+	closeReady(0, true)
+	return res, nil
+}

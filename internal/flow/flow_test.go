@@ -1,0 +1,475 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pstlbench/internal/core"
+	"pstlbench/internal/counters"
+	"pstlbench/internal/obs"
+	"pstlbench/internal/serve"
+)
+
+// newTestEngine builds an engine over a private server; both are torn
+// down with the test.
+func newTestEngine(t *testing.T, scfg serve.Config, ecfg Config) (*Engine, *serve.Server) {
+	t.Helper()
+	if scfg.Workers == 0 {
+		scfg.Workers = 4
+	}
+	if scfg.QueueCap == 0 {
+		scfg.QueueCap = 256
+	}
+	srv := serve.New(scfg)
+	t.Cleanup(srv.Close)
+	ecfg.Server = srv
+	e, err := NewEngine(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, srv
+}
+
+// drainResults waits until every closed window reached a terminal state.
+func settle(t *testing.T, s *Stream) StreamStats {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := s.Stats()
+		terminal := st.WindowsDone + st.WindowsCanceled + st.WindowsDropped + st.WindowsEmpty
+		if terminal == st.WindowsClosed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("windows did not settle: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplayMatchesAuditExactly is the central exactness property: a
+// deterministic trace replayed through a live Stream (concurrent window
+// jobs on a real pool) must agree with the independent sequential oracle
+// on every count and every per-window checksum, for each operator and for
+// both tumbling and sliding windows.
+func TestReplayMatchesAuditExactly(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		win  WindowSpec
+		op   OpSpec
+	}{
+		{"tumbling-reduce", WindowSpec{Size: 100, Lateness: 20}, OpSpec{Kind: "reduce"}},
+		{"tumbling-scan", WindowSpec{Size: 100, Lateness: 20}, OpSpec{Kind: "scan"}},
+		{"tumbling-sort", WindowSpec{Size: 100, Lateness: 0}, OpSpec{Kind: "sort"}},
+		{"tumbling-topk", WindowSpec{Size: 100, Lateness: 20}, OpSpec{Kind: "topk", K: 4}},
+		{"tumbling-wordcount", WindowSpec{Size: 100, Lateness: 20}, OpSpec{Kind: "wordcount"}},
+		{"tumbling-montecarlo", WindowSpec{Size: 200, Lateness: 20}, OpSpec{Kind: "montecarlo", Samples: 8}},
+		{"sliding-reduce", WindowSpec{Size: 100, Slide: 25, Lateness: 20}, OpSpec{Kind: "reduce"}},
+		{"sliding-wordcount", WindowSpec{Size: 100, Slide: 50, Lateness: 10}, OpSpec{Kind: "wordcount"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := StreamConfig{
+				Name: "s", Window: tc.win, Op: tc.op,
+				PendingWindows: 4096, // audit assumes no pending overflow
+			}
+			trace := SynthTrace(4000, 0, 7, 30, 11, 500, 32, 42)
+			want, err := Audit(cfg, trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, _ := newTestEngine(t, serve.Config{}, Config{ResultCap: 8192})
+			s, err := e.AddStream(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accepted, late, paused := Replay(s, trace)
+			s.Close()
+			st := s.Stats()
+
+			if accepted != want.Accepted || late != want.Late || paused != want.Paused {
+				t.Fatalf("replay counts (%d,%d,%d), audit (%d,%d,%d)",
+					accepted, late, paused, want.Accepted, want.Late, want.Paused)
+			}
+			if st.Assigned != want.Assigned || st.DroppedEvents != want.DroppedEvents {
+				t.Fatalf("assigned/dropped (%d,%d), audit (%d,%d)",
+					st.Assigned, st.DroppedEvents, want.Assigned, want.DroppedEvents)
+			}
+			if st.WindowsClosed != want.WindowsClosed || st.WindowsEmpty != want.WindowsEmpty {
+				t.Fatalf("windows closed/empty (%d,%d), audit (%d,%d)",
+					st.WindowsClosed, st.WindowsEmpty, want.WindowsClosed, want.WindowsEmpty)
+			}
+			if st.PeakBuffered != want.PeakBuffered {
+				t.Fatalf("peak buffered %d, audit %d", st.PeakBuffered, want.PeakBuffered)
+			}
+			if st.WindowsDropped != 0 || st.WindowsCanceled != 0 {
+				t.Fatalf("dropped/canceled windows (%d,%d), want 0 for the audit comparison",
+					st.WindowsDropped, st.WindowsCanceled)
+			}
+			if st.Buffered != 0 {
+				t.Fatalf("buffered %d after close, want 0", st.Buffered)
+			}
+			// Every non-empty window's checksum, individually exact.
+			results := e.Results()
+			if len(results) != len(want.Checksums) {
+				t.Fatalf("%d window results, audit %d", len(results), len(want.Checksums))
+			}
+			for _, r := range results {
+				if r.State != "done" {
+					t.Fatalf("window %d state %s", r.Start, r.State)
+				}
+				if wantSum, ok := want.Checksums[r.Start]; !ok || r.Checksum != wantSum {
+					t.Fatalf("window %d checksum %v, audit %v (known=%v)",
+						r.Start, r.Checksum, wantSum, ok)
+				}
+				if r.Events != want.WindowEvents[r.Start] {
+					t.Fatalf("window %d events %d, audit %d",
+						r.Start, r.Events, want.WindowEvents[r.Start])
+				}
+			}
+			if st.Checksum != want.ChecksumTotal {
+				t.Fatalf("total checksum %v, audit %v", st.Checksum, want.ChecksumTotal)
+			}
+		})
+	}
+}
+
+// TestLateEventsAccounted pins the watermark rule directly: an event older
+// than maxTS - lateness whose windows all closed is late, not buffered.
+func TestLateEventsAccounted(t *testing.T) {
+	e, _ := newTestEngine(t, serve.Config{}, Config{})
+	s, err := e.AddStream(StreamConfig{
+		Name:   "late",
+		Window: WindowSpec{Size: 100, Lateness: 50},
+		Op:     OpSpec{Kind: "reduce"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Push(Event{TS: 400, Val: 1}); got != PushAccepted {
+		t.Fatalf("first push: %v", got)
+	}
+	// Watermark = 400-50 = 350: windows [0,100) and [100,200) are closed,
+	// [300,400) is open.
+	if got := s.Push(Event{TS: 120, Val: 1}); got != PushLate {
+		t.Fatalf("stale event: %v, want late", got)
+	}
+	if got := s.Push(Event{TS: 360, Val: 1}); got != PushAccepted {
+		t.Fatalf("within-lateness event: %v, want accepted", got)
+	}
+	st := s.Stats()
+	if st.LateEvents != 1 || st.Events != 2 {
+		t.Fatalf("late=%d events=%d, want 1/2", st.LateEvents, st.Events)
+	}
+}
+
+// TestBackpressureDropOldest pins the memory bound: under a 4x burst the
+// buffer never exceeds the cap, the oldest events are the ones evicted,
+// and the conservation law assigned == closed + dropped + buffered holds.
+func TestBackpressureDropOldest(t *testing.T) {
+	cfg := StreamConfig{
+		Name:   "bp",
+		Window: WindowSpec{Size: 1000, Lateness: 0},
+		// Cap far below the burst volume.
+		BufferCap: 64,
+		Policy:    DropOldest,
+		Op:        OpSpec{Kind: "reduce"},
+	}
+	e, _ := newTestEngine(t, serve.Config{}, Config{})
+	s, err := e.AddStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One window's worth of 4x cap events: all but the last 64 must be
+	// evicted, and the peak must never pass the cap.
+	const n = 256
+	for i := 0; i < n; i++ {
+		if got := s.Push(Event{TS: int64(i), Val: 1}); got != PushAccepted {
+			t.Fatalf("push %d: %v", i, got)
+		}
+	}
+	st := s.Stats()
+	if st.PeakBuffered > cfg.BufferCap {
+		t.Fatalf("peak buffered %d exceeds cap %d", st.PeakBuffered, cfg.BufferCap)
+	}
+	if st.DroppedEvents != n-int64(cfg.BufferCap) {
+		t.Fatalf("dropped %d, want %d", st.DroppedEvents, n-cfg.BufferCap)
+	}
+	s.Close()
+	st = settle(t, s)
+	if got := st.Assigned; got != int64(sumClosedEvents(e))+st.DroppedEvents {
+		t.Fatalf("conservation: assigned %d != closed %d + dropped %d",
+			got, sumClosedEvents(e), st.DroppedEvents)
+	}
+	// The survivors are the NEWEST 64 events: values were all 1, so check
+	// via the audit oracle instead, which pins the same eviction order.
+	trace := make([]Event, n)
+	for i := range trace {
+		trace[i] = Event{TS: int64(i), Val: 1}
+	}
+	want, err := Audit(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedEvents != want.DroppedEvents || st.PeakBuffered != want.PeakBuffered {
+		t.Fatalf("dropped/peak (%d,%d), audit (%d,%d)",
+			st.DroppedEvents, st.PeakBuffered, want.DroppedEvents, want.PeakBuffered)
+	}
+}
+
+func sumClosedEvents(e *Engine) int {
+	n := 0
+	for _, r := range e.Results() {
+		n += r.Events
+	}
+	return n
+}
+
+// TestBackpressurePause pins the lossless policy: at the cap the push is
+// refused, nothing is buffered, and after the window drains the source can
+// resume.
+func TestBackpressurePause(t *testing.T) {
+	e, _ := newTestEngine(t, serve.Config{}, Config{})
+	s, err := e.AddStream(StreamConfig{
+		Name:      "pause",
+		Window:    WindowSpec{Size: 1000, Lateness: 0},
+		BufferCap: 16,
+		Policy:    Pause,
+		Op:        OpSpec{Kind: "reduce"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if got := s.Push(Event{TS: int64(i), Val: 1}); got != PushAccepted {
+			t.Fatalf("push %d: %v", i, got)
+		}
+	}
+	if got := s.Push(Event{TS: 16, Val: 1}); got != PushPaused {
+		t.Fatalf("push at cap: %v, want paused", got)
+	}
+	st := s.Stats()
+	if st.Buffered != 16 || st.PausedEvents != 1 || st.DroppedEvents != 0 {
+		t.Fatalf("buffered=%d paused=%d dropped=%d", st.Buffered, st.PausedEvents, st.DroppedEvents)
+	}
+	// An event far enough ahead closes the stuck window... but it must be
+	// refused too (it would need buffer room first). Pause never drops.
+	if got := s.Push(Event{TS: 5000, Val: 1}); got != PushPaused {
+		t.Fatalf("advancing push at cap: %v, want paused", got)
+	}
+	// Flush drains the buffer; then the source resumes.
+	s.Flush()
+	if got := s.Push(Event{TS: 5000, Val: 1}); got != PushAccepted {
+		t.Fatalf("push after flush: %v, want accepted", got)
+	}
+}
+
+// TestStreamSharesPoolWithBatchTenant is the end-to-end shape of the
+// tentpole: a stream and a batch tenant submit through one server, WFQ
+// isolates them, and every window job still returns the audited checksum.
+func TestStreamSharesPoolWithBatchTenant(t *testing.T) {
+	reg := counters.NewRegistry()
+	e, srv := newTestEngine(t, serve.Config{
+		QueueCap:      512,
+		MaxConcurrent: 2,
+		Weights:       map[string]float64{"stream": 1, "batch": 1},
+	}, Config{Registry: reg, ResultCap: 8192})
+	cfg := StreamConfig{
+		Name: "wc", Tenant: "stream",
+		Window:         WindowSpec{Size: 50, Lateness: 10},
+		Op:             OpSpec{Kind: "wordcount"},
+		PendingWindows: 4096,
+	}
+	trace := SynthTrace(3000, 0, 5, 10, 0, 0, 64, 7)
+	want, err := Audit(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.AddStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch tenant hammers the same server while the stream replays.
+	var wg sync.WaitGroup
+	var batchDone int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			j, err := srv.Submit(serve.Spec{Kernel: "reduce", N: 1 << 12, Tenant: "batch"})
+			if err != nil {
+				continue
+			}
+			<-j.Done()
+			if srv.Info(j).State == "done" {
+				batchDone++
+			}
+		}
+	}()
+	Replay(s, trace)
+	s.Close()
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Checksum != want.ChecksumTotal {
+		t.Fatalf("stream checksum %v, audit %v (done=%d canceled=%d dropped=%d)",
+			st.Checksum, want.ChecksumTotal, st.WindowsDone, st.WindowsCanceled, st.WindowsDropped)
+	}
+	if batchDone == 0 {
+		t.Fatal("no batch job completed alongside the stream")
+	}
+	if st.P99Seconds <= 0 {
+		t.Fatalf("no per-window latency recorded: %+v", st)
+	}
+}
+
+// TestEngineMetricsExposition checks the pstld_flow_* families appear in
+// Prometheus text form with the stream label and consistent totals.
+func TestEngineMetricsExposition(t *testing.T) {
+	met := obs.NewRegistry()
+	e, _ := newTestEngine(t, serve.Config{}, Config{Metrics: met})
+	s, err := e.AddStream(StreamConfig{
+		Name: "m1", Window: WindowSpec{Size: 100}, Op: OpSpec{Kind: "reduce"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Replay(s, SynthTrace(500, 0, 3, 0, 0, 0, 0, 3))
+	s.Close()
+	var buf bytes.Buffer
+	met.WritePrometheus(&buf)
+	text := buf.String()
+	for _, fam := range []string{
+		"pstld_flow_events_total", "pstld_flow_late_events_total",
+		"pstld_flow_dropped_events_total", "pstld_flow_paused_events_total",
+		"pstld_flow_windows_closed_total", "pstld_flow_windows_done_total",
+		"pstld_flow_windows_dropped_total", "pstld_flow_window_latency_seconds",
+		"pstld_flow_buffered_events", "pstld_flow_watermark_lag_seconds",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Fatalf("family %s missing from exposition:\n%s", fam, text)
+		}
+	}
+	if !strings.Contains(text, `stream="m1"`) {
+		t.Fatal("stream label missing")
+	}
+	st := s.Stats()
+	if got := int64(500); st.Events != got {
+		t.Fatalf("events %d, want %d", st.Events, got)
+	}
+}
+
+// TestHTTPIngest drives the engine's HTTP surface end to end.
+func TestHTTPIngest(t *testing.T) {
+	e, _ := newTestEngine(t, serve.Config{}, Config{})
+	if _, err := e.AddStream(StreamConfig{
+		Name: "h", Window: WindowSpec{Size: 100}, Op: OpSpec{Kind: "reduce"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(IngestRequest{Events: []Event{
+		{TS: 10, Val: 1}, {TS: 20, Val: 2}, {TS: 500, Val: 3},
+	}})
+	resp, err := srv.Client().Post(srv.URL+"/streams/h/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing IngestResponse
+	json.NewDecoder(resp.Body).Decode(&ing)
+	resp.Body.Close()
+	if ing.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3", ing.Accepted)
+	}
+	// Unknown stream: 404.
+	resp, err = srv.Client().Post(srv.URL+"/streams/nope/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown stream: status %d, want 404", resp.StatusCode)
+	}
+	// Stats and healthz.
+	resp, err = srv.Client().Get(srv.URL + "/streams/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StreamStats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Events != 3 {
+		t.Fatalf("stats events %d, want 3", st.Events)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestGeneratorHonorsBackpressure runs a wall-clock generator against a
+// tiny paused stream and checks the pause signal reaches the source.
+func TestGeneratorHonorsBackpressure(t *testing.T) {
+	e, _ := newTestEngine(t, serve.Config{}, Config{})
+	s, err := e.AddStream(StreamConfig{
+		Name:   "gen",
+		Window: WindowSpec{Size: 1 << 62}, // never closes: pure buffer pressure
+		// Cap small enough that the generator must hit it.
+		BufferCap: 32,
+		Policy:    Pause,
+		Op:        OpSpec{Kind: "reduce"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Generator{
+		Stream: s, Rate: 20000, Shape: ShapeSteady, Seed: 9,
+		PauseRetry: 100 * time.Microsecond, PauseBudget: 2,
+	}
+	stop := make(chan struct{})
+	time.AfterFunc(150*time.Millisecond, func() { close(stop) })
+	st := g.Run(stop)
+	if st.Accepted != 32 {
+		t.Fatalf("accepted %d, want exactly the cap 32", st.Accepted)
+	}
+	if st.Paused == 0 || st.PauseRetries == 0 {
+		t.Fatalf("no pause signal reached the generator: %+v", st)
+	}
+	if got := s.Stats().Buffered; got != 32 {
+		t.Fatalf("buffered %d, want 32", got)
+	}
+}
+
+// TestFnJobsRejectedByRouterGuard pins that the custom-Fn path is
+// in-process only at the serve layer's own validation: a spec with no Fn
+// and an unknown kernel still fails, and a spec with Fn runs it.
+func TestFnJobSubmitPath(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, QueueCap: 8})
+	defer srv.Close()
+	j, err := srv.Submit(serve.Spec{
+		Kernel: "flow:test", N: 100, Tenant: "t",
+		Fn: func(p core.Policy) float64 { return 12345 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if info := srv.Info(j); info.State != "done" || info.Checksum != 12345 {
+		t.Fatalf("Fn job info %+v", info)
+	}
+	if _, err := srv.Submit(serve.Spec{Kernel: "flow:test", N: 100}); err == nil {
+		t.Fatal("unknown kernel without Fn accepted")
+	}
+}

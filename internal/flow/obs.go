@@ -1,0 +1,57 @@
+package flow
+
+import "pstlbench/internal/obs"
+
+// streamMetrics is one stream's pstld_flow_* instrument set, every series
+// labeled {stream="<name>"}. All obs instruments are nil-safe, so a stream
+// without a Metrics registry pays only nil-receiver calls.
+type streamMetrics struct {
+	events    *obs.Counter
+	late      *obs.Counter
+	dropped   *obs.Counter
+	paused    *obs.Counter
+	closed    *obs.Counter
+	done      *obs.Counter
+	canceled  *obs.Counter
+	droppedW  *obs.Counter
+	latency   *obs.Histogram
+	winEvents *obs.Histogram
+}
+
+// initMetrics registers the stream's instrument set plus the pull-time
+// gauges (buffer depth, watermark lag) that read live stream state at
+// scrape time. Safe with a nil registry.
+func (s *Stream) initMetrics(r *obs.Registry) {
+	name := s.cfg.Name
+	s.m = streamMetrics{
+		events: r.Counter("pstld_flow_events_total",
+			"Events accepted into stream buffers.", "stream", name),
+		late: r.Counter("pstld_flow_late_events_total",
+			"Events discarded because every containing window had closed under the watermark.", "stream", name),
+		dropped: r.Counter("pstld_flow_dropped_events_total",
+			"Buffered events evicted by the drop-oldest backpressure policy.", "stream", name),
+		paused: r.Counter("pstld_flow_paused_events_total",
+			"Events refused at the buffer cap under the pause backpressure policy.", "stream", name),
+		closed: r.Counter("pstld_flow_windows_closed_total",
+			"Windows closed by the watermark or a flush.", "stream", name),
+		done: r.Counter("pstld_flow_windows_done_total",
+			"Closed windows whose job completed.", "stream", name),
+		canceled: r.Counter("pstld_flow_windows_canceled_total",
+			"Closed windows whose job was canceled or missed its deadline.", "stream", name),
+		droppedW: r.Counter("pstld_flow_windows_dropped_total",
+			"Closed windows dropped by pending-queue overflow or admission rejection.", "stream", name),
+		latency: r.Histogram("pstld_flow_window_latency_seconds",
+			"Wall time from window close to terminal job state.", obs.LatencyBuckets, "stream", name),
+		winEvents: r.Histogram("pstld_flow_window_events",
+			"Events per closed non-empty window.", obs.SizeBuckets, "stream", name),
+	}
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("pstld_flow_buffered_events",
+		"Current buffered (event, window) assignments.",
+		func() float64 { return float64(s.Buffered()) }, "stream", name)
+	r.GaugeFunc("pstld_flow_watermark_lag_seconds",
+		"Wall-clock now minus the stream watermark.",
+		func() float64 { return s.WatermarkLag().Seconds() }, "stream", name)
+}

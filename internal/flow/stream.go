@@ -1,0 +1,537 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"pstlbench/internal/counters"
+	"pstlbench/internal/serve"
+)
+
+// BackpressurePolicy selects what a stream does when its buffer cap is hit.
+type BackpressurePolicy int
+
+const (
+	// DropOldest evicts the oldest buffered events (front of the oldest
+	// open window) to make room — freshness wins, the source never stalls.
+	DropOldest BackpressurePolicy = iota
+	// Pause rejects the push (PushPaused) and buffers nothing — the
+	// source decides whether to retry, slow down, or shed. Lossless as
+	// long as the source honors the signal.
+	Pause
+)
+
+func (p BackpressurePolicy) String() string {
+	if p == Pause {
+		return "pause"
+	}
+	return "drop"
+}
+
+// ParsePolicy maps a flag value ("drop" or "pause") to a policy.
+func ParsePolicy(s string) (BackpressurePolicy, bool) {
+	switch s {
+	case "drop", "drop-oldest":
+		return DropOldest, true
+	case "pause":
+		return Pause, true
+	}
+	return DropOldest, false
+}
+
+// PushStatus is the per-event outcome of Stream.Push — the backpressure
+// and lateness signal a source acts on.
+type PushStatus int
+
+const (
+	// PushAccepted means the event was buffered into every open window
+	// containing it.
+	PushAccepted PushStatus = iota
+	// PushLate means every window containing the event had already closed
+	// under the watermark; the event was counted late and discarded.
+	PushLate
+	// PushPaused means the buffer is at capacity under the Pause policy
+	// (or the stream is closed); nothing was buffered.
+	PushPaused
+)
+
+// StreamConfig configures one stream.
+type StreamConfig struct {
+	// Name identifies the stream (metrics label, report key).
+	Name string
+	// Tenant is the serve-layer fair-queuing flow window jobs bill to;
+	// empty means Name — each stream is its own tenant by default.
+	Tenant string
+	// Window is the event-time windowing.
+	Window WindowSpec
+	// Op is the operator applied to each closed window.
+	Op OpSpec
+	// BufferCap bounds the total buffered (event, window) assignments
+	// across all open windows — the memory bound backpressure defends
+	// (default 65536). Must be at least the per-event window count.
+	BufferCap int
+	// Policy is the backpressure policy at the cap (default DropOldest).
+	Policy BackpressurePolicy
+	// PendingWindows bounds closed windows awaiting admission (default
+	// 32); past it, newly closed windows are dropped and accounted.
+	PendingWindows int
+	// SubmitRetries bounds admission retries on a saturated server before
+	// a closed window is dropped (default 3).
+	SubmitRetries int
+	// RetrySleepMax clamps the per-retry sleep (default 25ms).
+	RetrySleepMax time.Duration
+	// JobDeadline, when positive, bounds each window job's time in the
+	// server; an expired window job counts canceled, not done.
+	JobDeadline time.Duration
+}
+
+func (c StreamConfig) withDefaults() (StreamConfig, error) {
+	if c.Name == "" {
+		return c, fmt.Errorf("flow: stream name required")
+	}
+	if c.Tenant == "" {
+		c.Tenant = c.Name
+	}
+	var err error
+	if c.Window, err = c.Window.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.Op, err = c.Op.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 65536
+	}
+	if c.BufferCap < c.Window.perEvent() {
+		return c, fmt.Errorf("flow: buffer cap %d below windows per event %d",
+			c.BufferCap, c.Window.perEvent())
+	}
+	if c.PendingWindows <= 0 {
+		c.PendingWindows = 32
+	}
+	if c.SubmitRetries < 0 {
+		c.SubmitRetries = 0
+	} else if c.SubmitRetries == 0 {
+		c.SubmitRetries = 3
+	}
+	if c.RetrySleepMax <= 0 {
+		c.RetrySleepMax = 25 * time.Millisecond
+	}
+	return c, nil
+}
+
+// openWindow is one still-open window's buffered events.
+type openWindow struct {
+	start, end int64
+	events     []Event
+}
+
+// Window is one closed window handed to a job: its event-time bounds and
+// the events it buffered.
+type Window struct {
+	Stream string
+	// Start and End are the window's event-time bounds [Start, End) in
+	// Unix nanoseconds.
+	Start, End int64
+	Events     []Event
+	// Flushed marks a window closed by Flush/Close rather than by the
+	// watermark passing its end.
+	Flushed  bool
+	closedAt time.Time
+}
+
+// WindowResult is the terminal record of one closed window.
+type WindowResult struct {
+	Stream string `json:"stream"`
+	Start  int64  `json:"start_unix_ns"`
+	End    int64  `json:"end_unix_ns"`
+	Events int    `json:"events"`
+	// State is "done", "canceled" (job canceled or past deadline),
+	// "dropped" (pending-window overflow or admission rejection), or
+	// "empty" (closed with no events; never submitted).
+	State string `json:"state"`
+	// Checksum is the operator result, valid only when State is "done".
+	Checksum float64 `json:"checksum,omitempty"`
+	// LatencySeconds is wall time from window close to terminal state —
+	// the per-window latency the p50/p99 report quotes.
+	LatencySeconds float64 `json:"latency_seconds"`
+	Flushed        bool    `json:"flushed,omitempty"`
+}
+
+// Stream is one named event stream: open-window buffers under a cap, a
+// watermark, and a drainer feeding closed windows to the engine.
+type Stream struct {
+	cfg StreamConfig
+	eng *Engine
+	m   streamMetrics
+
+	mu        sync.Mutex
+	open      map[int64]*openWindow
+	starts    []int64 // open window starts, ascending
+	buffered  int
+	peak      int
+	hasEvents bool
+	maxTS     int64
+	closed    bool
+	scratch   []int64 // per-push window-start scratch, reused under mu
+
+	// Counters, all under mu. Events counts accepted pushes; Assigned
+	// counts (event, window) buffer entries, so under tumbling windows
+	// Assigned == Events and the conservation law
+	// Assigned == sum(closed window events) + DroppedEvents + Buffered
+	// holds exactly at any quiescent point.
+	events, assigned, late, droppedEvents, pausedEvents int64
+	windowsClosed, windowsFlushed, windowsEmpty         int64
+	windowsDone, windowsCanceled, windowsDropped        int64
+	checksum                                            float64
+
+	closedQ chan *Window
+	drainWG sync.WaitGroup
+	jobWG   sync.WaitGroup
+}
+
+func newStream(e *Engine, cfg StreamConfig) (*Stream, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		cfg:     cfg,
+		eng:     e,
+		open:    make(map[int64]*openWindow),
+		closedQ: make(chan *Window, cfg.PendingWindows),
+	}
+	s.initMetrics(e.met)
+	return s, nil
+}
+
+// start launches the drainer; called by the engine once registered.
+func (s *Stream) start() {
+	s.drainWG.Add(1)
+	go func() {
+		defer s.drainWG.Done()
+		for w := range s.closedQ {
+			s.eng.submitWindow(s, w)
+		}
+	}()
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.cfg.Name }
+
+// Config returns the stream's resolved configuration.
+func (s *Stream) Config() StreamConfig { return s.cfg }
+
+// watermarkLocked returns the current watermark: the maximum observed
+// event time minus the allowed lateness, or math.MinInt64 before any
+// event.
+func (s *Stream) watermarkLocked() int64 {
+	if !s.hasEvents {
+		return math.MinInt64
+	}
+	return s.maxTS - int64(s.cfg.Window.Lateness)
+}
+
+// Watermark returns the stream's current watermark (Unix ns) and whether
+// any event has been observed yet.
+func (s *Stream) Watermark() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermarkLocked(), s.hasEvents
+}
+
+// WatermarkLag returns wall-clock now minus the watermark — how far event
+// time trails real time. Zero before any event.
+func (s *Stream) WatermarkLag() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasEvents {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - s.watermarkLocked())
+}
+
+// Buffered returns the current buffered (event, window) assignment count.
+func (s *Stream) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buffered
+}
+
+// Push offers one event to the stream. It never blocks: the return status
+// says whether the event was buffered, late, or refused by backpressure.
+func (s *Stream) Push(ev Event) PushStatus {
+	s.mu.Lock()
+	if s.closed {
+		s.pausedEvents++
+		s.mu.Unlock()
+		s.m.paused.Inc()
+		return PushPaused
+	}
+	// Resolve the event's still-open windows under the CURRENT watermark
+	// (the event's own timestamp has not advanced it yet — an event cannot
+	// close the windows it belongs to before being buffered into them).
+	wm := s.watermarkLocked()
+	size := int64(s.cfg.Window.Size)
+	s.scratch = s.scratch[:0]
+	s.cfg.Window.eachWindow(ev.TS, func(start int64) {
+		if start+size > wm {
+			s.scratch = append(s.scratch, start)
+		}
+	})
+	if len(s.scratch) == 0 {
+		s.late++
+		s.mu.Unlock()
+		s.m.late.Inc()
+		return PushLate
+	}
+	need := len(s.scratch)
+	if s.buffered+need > s.cfg.BufferCap {
+		if s.cfg.Policy == Pause {
+			s.pausedEvents++
+			s.mu.Unlock()
+			s.m.paused.Inc()
+			return PushPaused
+		}
+		s.evictLocked(s.buffered + need - s.cfg.BufferCap)
+	}
+	for _, start := range s.scratch {
+		w := s.open[start]
+		if w == nil {
+			w = &openWindow{start: start, end: start + size}
+			s.open[start] = w
+			i := sort.Search(len(s.starts), func(i int) bool { return s.starts[i] >= start })
+			s.starts = append(s.starts, 0)
+			copy(s.starts[i+1:], s.starts[i:])
+			s.starts[i] = start
+		}
+		w.events = append(w.events, ev)
+	}
+	s.buffered += need
+	s.assigned += int64(need)
+	s.events++
+	if !s.hasEvents || ev.TS > s.maxTS {
+		s.maxTS, s.hasEvents = ev.TS, true
+	}
+	if s.buffered > s.peak {
+		s.peak = s.buffered
+	}
+	// The advanced watermark may have closed the oldest windows.
+	closed := s.closeExpiredLocked(s.watermarkLocked(), false)
+	s.emitLocked(closed)
+	s.mu.Unlock()
+	s.m.events.Inc()
+	return PushAccepted
+}
+
+// evictLocked drops k (event, window) assignments from the front of the
+// oldest open windows — the DropOldest policy's victim order. Events are
+// copied down in place so the evicted memory is actually released to the
+// window's append slack, keeping the cap a real memory bound.
+func (s *Stream) evictLocked(k int) {
+	for _, start := range s.starts {
+		if k <= 0 {
+			break
+		}
+		w := s.open[start]
+		d := len(w.events)
+		if d > k {
+			d = k
+		}
+		if d == 0 {
+			continue
+		}
+		w.events = w.events[:copy(w.events, w.events[d:])]
+		s.buffered -= d
+		s.droppedEvents += int64(d)
+		s.m.dropped.Add(int64(d))
+		k -= d
+	}
+}
+
+// closeExpiredLocked removes every open window whose end is at or behind
+// the watermark (or all of them when flush is set) and returns them in
+// start order. Closed windows leave the buffer immediately — their memory
+// is owned by the job from here on.
+func (s *Stream) closeExpiredLocked(wm int64, flush bool) []*Window {
+	var out []*Window
+	now := time.Now()
+	for len(s.starts) > 0 {
+		start := s.starts[0]
+		w := s.open[start]
+		if !flush && w.end > wm {
+			break
+		}
+		s.starts = s.starts[1:]
+		delete(s.open, start)
+		s.buffered -= len(w.events)
+		s.windowsClosed++
+		s.m.closed.Inc()
+		if flush {
+			s.windowsFlushed++
+		}
+		if len(w.events) == 0 {
+			s.windowsEmpty++
+			continue
+		}
+		s.m.winEvents.Observe(float64(len(w.events)))
+		out = append(out, &Window{
+			Stream: s.cfg.Name, Start: w.start, End: w.end,
+			Events: w.events, Flushed: flush, closedAt: now,
+		})
+	}
+	return out
+}
+
+// emitLocked hands closed windows to the drainer without blocking: a full
+// pending queue drops the window (the drainer is stalled on a saturated
+// server — backpressure has reached the window plane). Must run under mu
+// so no send can race Close's close(closedQ).
+func (s *Stream) emitLocked(ws []*Window) {
+	for _, w := range ws {
+		select {
+		case s.closedQ <- w:
+		default:
+			s.finishLocked(w, len(w.Events), "dropped", 0, time.Since(w.closedAt))
+		}
+	}
+}
+
+// windowDropped finalizes a window the server refused.
+func (s *Stream) windowDropped(w *Window) {
+	s.mu.Lock()
+	s.finishLocked(w, len(w.Events), "dropped", 0, time.Since(w.closedAt))
+	s.mu.Unlock()
+}
+
+// windowFinished finalizes a window whose job reached a terminal state.
+func (s *Stream) windowFinished(w *Window, info serve.JobInfo) {
+	state := "canceled"
+	var sum float64
+	if info.State == "done" {
+		state = "done"
+		sum = info.Checksum
+	}
+	lat := time.Since(w.closedAt)
+	s.mu.Lock()
+	s.finishLocked(w, len(w.Events), state, sum, lat)
+	s.mu.Unlock()
+}
+
+// finishLocked records one terminal window outcome: counters, metrics,
+// the latency region, and the engine result ring.
+func (s *Stream) finishLocked(w *Window, events int, state string, sum float64, lat time.Duration) {
+	switch state {
+	case "done":
+		s.windowsDone++
+		s.checksum += sum
+		s.m.done.Inc()
+	case "canceled":
+		s.windowsCanceled++
+		s.m.canceled.Inc()
+	case "dropped":
+		s.windowsDropped++
+		s.m.droppedW.Inc()
+	}
+	s.m.latency.Observe(lat.Seconds())
+	if s.eng.reg != nil {
+		s.eng.reg.Record("flow:"+s.cfg.Name, counters.Set{Seconds: lat.Seconds()})
+	}
+	// engine.record takes only the engine lock and never a stream's, so
+	// the stream->engine lock order here is the only one that occurs.
+	s.eng.record(WindowResult{
+		Stream: s.cfg.Name, Start: w.Start, End: w.End, Events: events,
+		State: state, Checksum: sum, LatencySeconds: lat.Seconds(),
+		Flushed: w.Flushed,
+	})
+}
+
+// Flush closes every open window regardless of the watermark and hands
+// them to the drainer. The stream stays usable.
+func (s *Stream) Flush() {
+	s.mu.Lock()
+	closed := s.closeExpiredLocked(0, true)
+	s.emitLocked(closed)
+	s.mu.Unlock()
+}
+
+// Close flushes, stops the drainer, and waits for every in-flight window
+// job. Pushes after Close return PushPaused.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	closed := s.closeExpiredLocked(0, true)
+	s.emitLocked(closed)
+	s.closed = true
+	close(s.closedQ)
+	s.mu.Unlock()
+	s.drainWG.Wait()
+	s.jobWG.Wait()
+}
+
+// StreamStats is a consistent snapshot of one stream's accounting.
+type StreamStats struct {
+	Stream string `json:"stream"`
+	Tenant string `json:"tenant"`
+	Op     string `json:"op"`
+	Policy string `json:"policy"`
+	// Events counts accepted pushes; Assigned counts buffered
+	// (event, window) entries (== Events for tumbling windows).
+	Events   int64 `json:"events"`
+	Assigned int64 `json:"assigned"`
+	// LateEvents were discarded at the watermark; DroppedEvents were
+	// evicted under DropOldest; PausedEvents were refused under Pause.
+	LateEvents    int64 `json:"late_events"`
+	DroppedEvents int64 `json:"dropped_events"`
+	PausedEvents  int64 `json:"paused_events"`
+	WindowsClosed int64 `json:"windows_closed"`
+	// WindowsFlushed of the closed windows were forced by Flush/Close.
+	WindowsFlushed  int64 `json:"windows_flushed"`
+	WindowsEmpty    int64 `json:"windows_empty"`
+	WindowsDone     int64 `json:"windows_done"`
+	WindowsCanceled int64 `json:"windows_canceled"`
+	WindowsDropped  int64 `json:"windows_dropped"`
+	// Buffered is the current (event, window) buffer occupancy;
+	// PeakBuffered its high-water mark — the number the BufferCap bound
+	// is audited against.
+	Buffered     int `json:"buffered"`
+	PeakBuffered int `json:"peak_buffered"`
+	// Checksum is the sum of done-window checksums (exact: integer-valued).
+	Checksum float64 `json:"checksum"`
+	// WatermarkLagSeconds is wall now minus the watermark.
+	WatermarkLagSeconds float64 `json:"watermark_lag_seconds"`
+	// P50/P99/MeanSeconds summarize per-window close-to-terminal latency.
+	P50Seconds  float64 `json:"window_p50_seconds,omitempty"`
+	P99Seconds  float64 `json:"window_p99_seconds,omitempty"`
+	MeanSeconds float64 `json:"window_mean_seconds,omitempty"`
+}
+
+// Stats snapshots the stream.
+func (s *Stream) Stats() StreamStats {
+	s.mu.Lock()
+	st := StreamStats{
+		Stream: s.cfg.Name, Tenant: s.cfg.Tenant, Op: s.cfg.Op.Kind,
+		Policy: s.cfg.Policy.String(),
+		Events: s.events, Assigned: s.assigned,
+		LateEvents: s.late, DroppedEvents: s.droppedEvents, PausedEvents: s.pausedEvents,
+		WindowsClosed: s.windowsClosed, WindowsFlushed: s.windowsFlushed,
+		WindowsEmpty: s.windowsEmpty, WindowsDone: s.windowsDone,
+		WindowsCanceled: s.windowsCanceled, WindowsDropped: s.windowsDropped,
+		Buffered: s.buffered, PeakBuffered: s.peak, Checksum: s.checksum,
+	}
+	if s.hasEvents {
+		st.WatermarkLagSeconds = float64(time.Now().UnixNano()-s.watermarkLocked()) / 1e9
+	}
+	s.mu.Unlock()
+	if s.eng.reg != nil {
+		rs := s.eng.reg.Stats("flow:" + s.cfg.Name)
+		st.P50Seconds, st.P99Seconds, st.MeanSeconds = rs.P50, rs.P99, rs.Mean
+	}
+	return st
+}

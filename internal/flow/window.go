@@ -1,0 +1,63 @@
+package flow
+
+import (
+	"fmt"
+	"time"
+)
+
+// WindowSpec defines the event-time windowing of a stream.
+type WindowSpec struct {
+	// Size is the window length in event time.
+	Size time.Duration
+	// Slide is the hop between window starts. Zero or Slide == Size gives
+	// tumbling windows; Slide < Size gives overlapping sliding windows, in
+	// which every event belongs to Size/Slide windows. Slide > Size is
+	// rejected — the gaps between windows would silently lose events.
+	Slide time.Duration
+	// Lateness is the allowed out-of-orderness: the watermark trails the
+	// maximum observed event time by this much, so an event up to Lateness
+	// older than the newest one still finds its windows open. An event
+	// whose every window has already closed is late and is not buffered.
+	Lateness time.Duration
+}
+
+// withDefaults validates the spec and fills the tumbling default.
+func (w WindowSpec) withDefaults() (WindowSpec, error) {
+	if w.Size <= 0 {
+		return w, fmt.Errorf("flow: window size %v, want > 0", w.Size)
+	}
+	if w.Slide == 0 {
+		w.Slide = w.Size
+	}
+	if w.Slide < 0 || w.Slide > w.Size {
+		return w, fmt.Errorf("flow: window slide %v, want (0, %v]", w.Slide, w.Size)
+	}
+	if w.Lateness < 0 {
+		return w, fmt.Errorf("flow: window lateness %v, want >= 0", w.Lateness)
+	}
+	return w, nil
+}
+
+// perEvent returns how many windows each event belongs to.
+func (w WindowSpec) perEvent() int {
+	return int((int64(w.Size) + int64(w.Slide) - 1) / int64(w.Slide))
+}
+
+// eachWindow calls f with the start of every window [start, start+Size)
+// containing event time ts, newest start first. Starts are aligned to
+// multiples of Slide (floor division, so negative timestamps align too).
+func (w WindowSpec) eachWindow(ts int64, f func(start int64)) {
+	slide, size := int64(w.Slide), int64(w.Size)
+	for start := floorDiv(ts, slide) * slide; start > ts-size; start -= slide {
+		f(start)
+	}
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

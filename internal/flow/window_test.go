@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"testing"
+	"time"
+)
+
+func windowsOf(w WindowSpec, ts int64) []int64 {
+	var out []int64
+	w.eachWindow(ts, func(start int64) { out = append(out, start) })
+	return out
+}
+
+func TestTumblingAssignment(t *testing.T) {
+	w, err := WindowSpec{Size: 100}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		ts   int64
+		want int64
+	}{{0, 0}, {99, 0}, {100, 100}, {250, 200}, {-1, -100}, {-100, -100}} {
+		got := windowsOf(w, tc.ts)
+		if len(got) != 1 || got[0] != tc.want {
+			t.Fatalf("ts=%d: windows %v, want [%d]", tc.ts, got, tc.want)
+		}
+	}
+	if w.perEvent() != 1 {
+		t.Fatalf("perEvent = %d, want 1", w.perEvent())
+	}
+}
+
+func TestSlidingAssignment(t *testing.T) {
+	w, err := WindowSpec{Size: 100, Slide: 25}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.perEvent() != 4 {
+		t.Fatalf("perEvent = %d, want 4", w.perEvent())
+	}
+	// ts=130 belongs to windows starting at 125, 100, 75, 50 (each covers
+	// [start, start+100)).
+	got := windowsOf(w, 130)
+	want := []int64{125, 100, 75, 50}
+	if len(got) != len(want) {
+		t.Fatalf("windows %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("windows %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowSpecValidation(t *testing.T) {
+	if _, err := (WindowSpec{}).withDefaults(); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := (WindowSpec{Size: 100, Slide: 200}).withDefaults(); err == nil {
+		t.Fatal("slide > size accepted (gaps would lose events)")
+	}
+	if _, err := (WindowSpec{Size: 100, Lateness: -1}).withDefaults(); err == nil {
+		t.Fatal("negative lateness accepted")
+	}
+	w, err := (WindowSpec{Size: 100}).withDefaults()
+	if err != nil || w.Slide != 100 {
+		t.Fatalf("tumbling default: slide %v err %v", w.Slide, err)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	for _, tc := range []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {-8, 2, -4}, {0, 5, 0}, {-1, 5, -1},
+	} {
+		if got := floorDiv(tc.a, tc.b); got != tc.want {
+			t.Fatalf("floorDiv(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestShapeFactors(t *testing.T) {
+	p := time.Second
+	if f := ShapeSteady.Factor(0, p, 4); f != 1 {
+		t.Fatalf("steady factor %v", f)
+	}
+	if f := ShapeBursty.Factor(100*time.Millisecond, p, 4); f != 4 {
+		t.Fatalf("bursty peak factor %v, want 4", f)
+	}
+	if f := ShapeBursty.Factor(600*time.Millisecond, p, 4); f >= 1 {
+		t.Fatalf("bursty trough factor %v, want < 1", f)
+	}
+	if f := ShapeStep.Factor(2*p, p, 3); f != 3 {
+		t.Fatalf("step factor %v, want 3", f)
+	}
+	lo := ShapeDiurnal.Factor(0, p, 4)
+	hi := ShapeDiurnal.Factor(p/2, p, 4)
+	if lo > 1.01 || hi < 3.9 {
+		t.Fatalf("diurnal range [%v, %v], want ~[1, 4]", lo, hi)
+	}
+	// The mean of every shape stays near 1x sustained (step excluded: its
+	// whole point is a permanent level shift).
+	for _, sh := range []Shape{ShapeSteady, ShapeBursty} {
+		sum := 0.0
+		const n = 1000
+		for i := 0; i < n; i++ {
+			sum += sh.Factor(time.Duration(i)*p/n, p, 4)
+		}
+		if mean := sum / n; mean < 0.8 || mean > 1.3 {
+			t.Fatalf("%s mean factor %v, want ~1", sh, mean)
+		}
+	}
+	if _, ok := ParseShape("bursty"); !ok {
+		t.Fatal("bursty did not parse")
+	}
+	if _, ok := ParseShape("nope"); ok {
+		t.Fatal("unknown shape parsed")
+	}
+}

@@ -22,6 +22,18 @@ func KernelValid(name string) bool {
 	return false
 }
 
+// runJob dispatches one job body: a custom Fn when the spec carries one
+// (the streaming plane's window jobs), else the named kernel. A custom
+// body reports ok under the same rule as the kernels — a fired token means
+// the result is torn and must be discarded.
+func runJob(p core.Policy, spec Spec) (float64, bool) {
+	if spec.Fn != nil {
+		sum := spec.Fn(p)
+		return sum, !p.Canceled()
+	}
+	return runKernel(p, spec.Kernel, spec.N)
+}
+
 // runKernel executes one job body under p (which carries the job's
 // cancellation token) and returns a checksum of the result. ok=false means
 // the token fired and the result is torn: the checksum must be discarded,

@@ -211,6 +211,7 @@ func (q *FairQueue) noteService(e *queued) {
 		if e.start > q.virtual {
 			q.virtual = e.start
 		}
+		q.pruneLanes()
 		return
 	}
 	q.inService[e.Value] = e.start
@@ -222,6 +223,27 @@ func (q *FairQueue) noteService(e *queued) {
 	}
 	if min > q.virtual {
 		q.virtual = min
+	}
+	q.pruneLanes()
+}
+
+// pruneLanes drops idle lanes the virtual clock has passed. A lane whose
+// tenant has nothing queued and whose banked finish tag is at or behind the
+// clock is indistinguishable from an absent one — Push rejoins an absent
+// lane at max(virtual, 0) = virtual, exactly what max(virtual, finish)
+// yields when finish <= virtual — so deleting it changes no schedule. This
+// bounds the lanes map under streaming workloads where transient tenants
+// (one lane per short-lived stream or loadgen client) arrive forever; the
+// sweep is amortized by only running once the map has clearly outgrown the
+// set of tenants that still have items queued.
+func (q *FairQueue) pruneLanes() {
+	if len(q.lanes) <= 2*len(q.counts)+16 {
+		return
+	}
+	for tenant, finish := range q.lanes {
+		if q.counts[tenant] == 0 && finish <= q.virtual {
+			delete(q.lanes, tenant)
+		}
 	}
 }
 

@@ -188,6 +188,15 @@ type Spec struct {
 	// crash-replay; a standalone server with Config.Spans creates one per
 	// job itself.
 	Span *obs.JobSpan
+	// Fn, when non-nil, is the job body itself: a caller-supplied kernel
+	// run on the shared pool under the job's policy (cancellation token,
+	// first-chunk stamp) in place of the named kernels. Kernel then serves
+	// only as a label for stats and traces, and N only as the WFQ cost
+	// estimate. Fn jobs cannot cross a process boundary — the shard router
+	// rejects them and they never enter a job log. The streaming plane
+	// (internal/flow) uses this to run closed windows on the server that
+	// shares its pool with batch tenants.
+	Fn func(p core.Policy) float64 `json:"-"`
 }
 
 // Job is the server-side record of one submission. All fields are guarded
@@ -386,8 +395,11 @@ func (s *Server) QueueCap() int { return s.q.cap }
 // capacity (carrying a Retry-After hint), ErrClosed after Close, and a
 // plain error for an invalid spec.
 func (s *Server) Submit(spec Spec) (*Job, error) {
-	if !KernelValid(spec.Kernel) {
+	if spec.Fn == nil && !KernelValid(spec.Kernel) {
 		return nil, fmt.Errorf("serve: unknown kernel %q", spec.Kernel)
+	}
+	if spec.Fn != nil && spec.Kernel == "" {
+		spec.Kernel = "custom"
 	}
 	if spec.N < 1 {
 		return nil, fmt.Errorf("serve: job size %d, want >= 1", spec.N)
@@ -686,7 +698,7 @@ func (s *Server) run(j *Job) {
 	if s.tb != nil {
 		from = s.tr.Now()
 	}
-	sum, ok := runKernel(p, j.spec.Kernel, j.spec.N)
+	sum, ok := runJob(p, j.spec)
 
 	s.mu.Lock()
 	s.finishJobLocked(j, sum, ok)
@@ -725,7 +737,7 @@ func (s *Server) runBatch(jobs []*Job) {
 				// task's own start stands in for the first chunk.
 				j.spec.Span.MarkOnce(obs.PhaseFirstChunk)
 				p := core.Policy{Cancel: j.token}
-				sum, ok = runKernel(p, j.spec.Kernel, j.spec.N)
+				sum, ok = runJob(p, j.spec)
 			}
 			s.mu.Lock()
 			s.finishJobLocked(j, sum, ok)

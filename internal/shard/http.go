@@ -24,6 +24,7 @@ type errorBody struct {
 //	GET    /jobs/{id} job status     -> 200 JobInfo | 404
 //	DELETE /jobs/{id} cancel a job   -> 200 JobInfo | 404
 //	GET    /stats     router stats   -> 200 Stats
+//	GET    /healthz   readiness      -> 200 HealthInfo | 503 (closed or no healthy shard)
 //	POST   /cluster/join  add a worker to the ring -> 200 (when Config.Join set)
 //	GET    /metrics   Prometheus text exposition (when Config.Metrics set)
 //	GET    /spans     terminal job lifecycle spans (when Config.Spans set)
@@ -33,6 +34,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", r.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", r.handleCancel)
 	mux.HandleFunc("GET /stats", r.handleStats)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	if r.cfg.Join != nil {
 		mux.HandleFunc("POST /cluster/join", r.handleJoin)
 	}
@@ -101,6 +103,16 @@ func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	h := r.Health()
+	status := http.StatusOK
+	if !h.OK {
+		// A probe keys on the status code; the body still carries the why.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // JoinRequest is the POST /cluster/join body: the base URL the router

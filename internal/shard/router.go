@@ -325,6 +325,12 @@ func (r *Router) Shards() int {
 // Submit admits a job through consistent-hash placement with load-aware
 // overflow. Error contract matches serve.Server.Submit.
 func (r *Router) Submit(spec serve.Spec) (*Job, error) {
+	if spec.Fn != nil {
+		// A custom Fn body is an in-process closure: it cannot be serialized
+		// into the job log, spilled to another shard, or replayed. Callers
+		// that need one (internal/flow) submit to a serve.Server directly.
+		return nil, fmt.Errorf("shard: custom Fn jobs are in-process only")
+	}
 	if !serve.KernelValid(spec.Kernel) {
 		return nil, fmt.Errorf("shard: unknown kernel %q", spec.Kernel)
 	}
@@ -841,6 +847,31 @@ type Stats struct {
 	Deaths        int64        `json:"shard_deaths"`
 	HealthyShards int          `json:"healthy_shards"`
 	PerShard      []ShardStats `json:"per_shard"`
+}
+
+// HealthInfo is the router's GET /healthz snapshot: OK while the router is
+// open and at least one shard is healthy — the condition under which a new
+// submission can actually be placed. External probes and the streaming
+// driver share this one readiness check across every pstld mode.
+type HealthInfo struct {
+	OK            bool `json:"ok"`
+	Shards        int  `json:"shards"`
+	HealthyShards int  `json:"healthy_shards"`
+	Backlog       int  `json:"backlog"`
+}
+
+// Health returns the router's liveness snapshot.
+func (r *Router) Health() HealthInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := HealthInfo{Shards: len(r.shards), Backlog: len(r.backlog)}
+	for i := range r.shards {
+		if r.health[i].state == Healthy {
+			h.HealthyShards++
+		}
+	}
+	h.OK = !r.closed && h.HealthyShards > 0
+	return h
 }
 
 // Stats returns a consistent snapshot of the router counters plus each

@@ -2,6 +2,13 @@
 // the paper uses to calibrate expectations for memory-bound algorithms
 // (Table 2's last row: single-core and all-core bandwidth).
 //
+// Despite the name, this package has nothing to do with streaming
+// workloads: for the continuous-ingest streaming plane (event-time
+// windows, watermarks, backpressure, windowed operators through the
+// serving tier) see internal/flow. The CLI entry for THIS benchmark lives
+// in pstlbench (-mode stream-sim / stream-native); cmd/pstlstream drives
+// internal/flow.
+//
 // Two modes exist: Native measures the host this code actually runs on,
 // using the library's own parallel Transform; Simulated runs the triad
 // through the memory-system model and must reproduce the Table 2 figures,
